@@ -1,0 +1,77 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each bench times one algorithm variant pair and asserts the ablation's
+expected direction, so the design rationale stays executable:
+
+* MULTILVLPAD's virtual (S1, Lmax) cache vs testing every level explicitly
+  -- same cleanliness, one pass.
+* GROUPPAD with vs without the refinement sweep -- refinement never
+  exploits fewer arcs.
+* GROUPPAD search granularity (line-size steps vs coarse 512B steps) --
+  coarse search is faster but may lose arcs.
+"""
+
+from repro import CacheDiagram, DataLayout, ultrasparc_i
+from repro.kernels import expl
+from repro.layout.conflicts import program_severe_conflicts
+from repro.transforms.grouppad import grouppad
+from repro.transforms.pad import multilvl_pad, pad_explicit_levels
+
+HIER = ultrasparc_i()
+
+
+def exploited_total(prog, layout):
+    return sum(
+        CacheDiagram(prog, layout, nest, HIER.l1.size, HIER.l1.line_size).exploited_count
+        for nest in prog.nests
+    )
+
+
+def test_bench_ablation_multilvl_vs_explicit(benchmark):
+    prog = expl.build(512)
+    seq = DataLayout.sequential(prog)
+
+    def run():
+        return (
+            multilvl_pad(prog, seq, HIER),
+            pad_explicit_levels(prog, seq, HIER),
+        )
+
+    virtual, explicit = benchmark(run)
+    # Both must clear every level; the virtual-cache method is the paper's
+    # "even simpler" one and must not be weaker.
+    for cfg in HIER:
+        assert program_severe_conflicts(prog, virtual, cfg.size, cfg.line_size).is_clean
+        assert program_severe_conflicts(prog, explicit, cfg.size, cfg.line_size).is_clean
+
+
+def test_bench_ablation_grouppad_refinement(benchmark):
+    prog = expl.build(334)
+    seq = DataLayout.sequential(prog)
+
+    def run():
+        greedy = grouppad(
+            prog, seq, HIER.l1.size, HIER.l1.line_size, refine_passes=0
+        )
+        refined = grouppad(
+            prog, seq, HIER.l1.size, HIER.l1.line_size, refine_passes=1
+        )
+        return greedy, refined
+
+    greedy, refined = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert exploited_total(prog, refined) >= exploited_total(prog, greedy)
+
+
+def test_bench_ablation_grouppad_granularity(benchmark):
+    prog = expl.build(334)
+    seq = DataLayout.sequential(prog)
+
+    def run():
+        fine = grouppad(prog, seq, HIER.l1.size, HIER.l1.line_size)
+        coarse = grouppad(
+            prog, seq, HIER.l1.size, HIER.l1.line_size, granularity=512
+        )
+        return fine, coarse
+
+    fine, coarse = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert exploited_total(prog, fine) >= exploited_total(prog, coarse)

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 10 -- GROUPPAD with and without L2MAXPAD."""
+
+from repro.experiments import fig10_grouppad
+
+
+def run():
+    return fig10_grouppad.run(quick=True, programs=["expl", "jacobi", "shal"])
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    for versions in result.by_program().values():
+        # L2MAXPAD preserves the L1 layout: L1 rates identical.
+        assert versions["L1&L2 Opt"].miss_rate("L1") == versions[
+            "L1 Opt"
+        ].miss_rate("L1")

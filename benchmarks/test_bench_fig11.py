@@ -1,0 +1,18 @@
+"""Benchmark: Figure 11 -- miss rates over varying problem sizes."""
+
+from repro.experiments import fig11_sweep
+
+SIZES = [250, 315, 380, 445]
+
+
+def run():
+    return fig11_sweep.run(programs=("expl",), sizes=SIZES)
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    rows = result.series["expl"]
+    assert [r[0] for r in rows] == SIZES
+    # L2MAXPAD's L2 curve is flat across problem sizes.
+    l2_rates = [r[4] for r in rows]
+    assert max(l2_rates) - min(l2_rates) < 0.01

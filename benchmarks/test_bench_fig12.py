@@ -1,0 +1,16 @@
+"""Benchmark: Figure 12 -- fusion reference/miss-rate deltas over size."""
+
+from repro.experiments import fig12_fusion
+
+SIZES = [250, 334, 430]
+
+
+def run():
+    return fig12_fusion.run(sizes=SIZES)
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert [r[0] for r in result.rows] == SIZES
+    # Fusion always saves the three shared leading references.
+    assert {r[2] for r in result.rows} == {-3}

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 13 -- tiled matmul MFLOPS over matrix size."""
+
+from repro.experiments import fig13_tiling
+
+SIZES = [100, 160]
+
+
+def run():
+    return fig13_tiling.run(sizes=SIZES)
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    # L1-sized tiles win on average (the paper's Section 6.5 result).
+    for version in ("Orig", "2xL1", "4xL1", "L2"):
+        assert result.mean_mflops("L1") >= result.mean_mflops(version) - 1e-9

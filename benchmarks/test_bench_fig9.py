@@ -1,0 +1,24 @@
+"""Benchmark: Figure 9 -- PAD vs MULTILVLPAD miss rates and improvements.
+
+Runs the actual experiment harness (reduced problem sizes, representative
+program subset) and sanity-checks the paper's shape on the result.
+"""
+
+from repro.experiments import fig9_pad
+
+PROGRAMS = ["dot", "expl", "jacobi", "applu", "su2cor", "wave5"]
+
+
+def run():
+    return fig9_pad.run(quick=True, programs=PROGRAMS)
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    per = result.by_program()
+    assert set(per) == set(PROGRAMS)
+    # Paper shape: the L2-aware variant adds (almost) nothing over PAD.
+    for versions in per.values():
+        assert versions["L1&L2 Opt"].miss_rate("L2") <= (
+            versions["L1 Opt"].miss_rate("L2") + 0.02
+        )

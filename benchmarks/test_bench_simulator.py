@@ -1,0 +1,59 @@
+"""Microbenchmarks: simulator and trace-generator throughput.
+
+These are the substrate hot paths every figure runs through; tracking
+them catches performance regressions that would make the full-size
+experiments impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout, ultrasparc_i
+from repro.cache.direct import miss_mask_direct
+from repro.cache.streaming import StreamingHierarchy
+from repro.kernels import expl, jacobi
+from repro.trace.generator import generate_trace, program_trace_chunks
+
+HIER = ultrasparc_i()
+
+
+@pytest.fixture(scope="module")
+def random_trace():
+    rng = np.random.default_rng(123)
+    return rng.integers(0, 1 << 22, size=2_000_000).astype(np.int64)
+
+
+def test_bench_direct_mapped_2m_refs(benchmark, random_trace):
+    misses = benchmark(miss_mask_direct, random_trace, HIER.l1.size, HIER.l1.line_size)
+    assert misses.sum() > 0
+
+
+def test_bench_hierarchy_streaming(benchmark, random_trace):
+    def run():
+        sim = StreamingHierarchy(HIER)
+        for i in range(0, random_trace.size, 500_000):
+            sim.feed(random_trace[i : i + 500_000])
+        return sim.result()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.total_refs == random_trace.size
+
+
+def test_bench_trace_generation_jacobi256(benchmark):
+    prog = jacobi.build(256)
+    lay = DataLayout.sequential(prog)
+    trace = benchmark(generate_trace, prog, lay)
+    assert trace.size == prog.total_refs()
+
+
+def test_bench_end_to_end_expl192(benchmark):
+    prog = expl.build(192)
+    lay = DataLayout.sequential(prog)
+
+    def run():
+        sim = StreamingHierarchy(HIER)
+        sim.feed_all(program_trace_chunks(prog, lay))
+        return sim.result()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.total_refs == prog.total_refs()

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (program inventory).
+
+Covers building every Table 1 program's IR and computing its static
+counters -- the front half of every other experiment.
+"""
+
+from repro.experiments import table1_programs
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(
+        table1_programs.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(result.rows) == 24

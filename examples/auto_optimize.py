@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""One call, the whole paper: the optimization driver on a kernel.
+
+``repro.optimize`` chains intra-variable padding, memory-order
+permutation, profitability-checked fusion, and GROUPPAD (+ L2MAXPAD) --
+the paper's complete recipe -- and logs every decision.  This example
+runs it on JACOBI at a cache-resonant size and compares the three
+strategies, ending with the paper's bottom line: targeting the L1 cache
+alone captures nearly all the multi-level benefit.
+
+Run:  python examples/auto_optimize.py
+"""
+
+from repro import DataLayout, optimize, simulate_program, ultrasparc_i
+from repro.kernels import jacobi
+
+
+def main() -> None:
+    hier = ultrasparc_i()
+    prog = jacobi.build(512)
+    baseline = simulate_program(prog, DataLayout.sequential(prog), hier)
+    print(f"program: {prog.name} | baseline "
+          f"L1={100 * baseline.miss_rate('L1'):.2f}% "
+          f"L2={100 * baseline.miss_rate('L2'):.2f}%\n")
+
+    for strategy in ("PAD", "L1", "L1&L2"):
+        opt_prog, layout, report = optimize(prog, hier, strategy=strategy)
+        result = simulate_program(opt_prog, layout, hier)
+        print(f"=== strategy {strategy} ===")
+        print(report)
+        print(f"  => L1={100 * result.miss_rate('L1'):.2f}% "
+              f"L2={100 * result.miss_rate('L2'):.2f}%\n")
+
+    print(
+        "Note how close 'L1' and 'L1&L2' land: the paper's conclusion "
+        "('existing compiler\noptimizations are usually sufficient for "
+        "multi-level caches') in one run."
+    )
+
+
+if __name__ == "__main__":
+    main()

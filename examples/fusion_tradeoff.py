@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The Section 4 fusion tradeoff, end to end on EXPL.
+
+Fuses EXPL's pressure and velocity sweeps (which share ZA, ZB, ZR) at a
+range of problem sizes and shows both sides of the paper's ledger:
+
+* the compile-time accounting -- per-iteration references satisfied by
+  L1 / L2 / memory before and after fusion, and the weighted profitability
+  decision;
+* the measured truth -- simulated L1/L2 miss-rate changes, normalized by
+  the original version's reference count as in Section 6.4.
+
+Run:  python examples/fusion_tradeoff.py
+"""
+
+from repro import DataLayout, ultrasparc_i
+from repro.analysis import MissCostModel, account_nests, fusion_profitable
+from repro.analysis.fusionmodel import account_nest, fusion_delta
+from repro.experiments.common import simulate_kernel_layout
+from repro.kernels import expl
+from repro.kernels.registry import get_kernel
+from repro.transforms import fuse_nests, grouppad, l2maxpad
+
+
+def layout_for(prog, hier):
+    gp = grouppad(prog, DataLayout.sequential(prog),
+                  hier.l1.size, hier.l1.line_size)
+    return l2maxpad(prog, gp, hier)
+
+
+def main() -> None:
+    hier = ultrasparc_i()
+    model = MissCostModel.from_hierarchy(hier)
+    kernel = get_kernel("expl")
+    a, b = expl.FUSABLE_NESTS
+
+    print("EXPL fusion tradeoff (per-iteration accounting + simulation)\n")
+    print(f"{'N':>4} {'mem b/a':>9} {'L2 b/a':>9} {'profit?':>8} "
+          f"{'ΔL1%':>7} {'ΔL2%':>7}")
+    for n in (256, 352, 448, 544):
+        original = expl.build(n)
+        fused = fuse_nests(original, a, b, check="none")
+        lay_o = layout_for(original, hier)
+        lay_f = layout_for(fused, hier)
+
+        before = account_nests(
+            original, lay_o, [original.nests[a], original.nests[b]],
+            hier.l1.size, hier.l1.line_size,
+        )
+        after = account_nest(
+            fused, lay_f, fused.nests[a], hier.l1.size, hier.l1.line_size
+        )
+        delta = fusion_delta(
+            original, lay_o, [original.nests[a], original.nests[b]],
+            fused, lay_f, fused.nests[a],
+            hier.l1.size, hier.l1.line_size,
+        )
+        decision = fusion_profitable(delta, model)
+
+        sim_o = simulate_kernel_layout(kernel, original, lay_o, hier)
+        sim_f = simulate_kernel_layout(kernel, fused, lay_f, hier)
+        base = sim_o.total_refs
+        d_l1 = 100 * (sim_f.level("L1").misses - sim_o.level("L1").misses) / base
+        d_l2 = 100 * (sim_f.level("L2").misses - sim_o.level("L2").misses) / base
+
+        print(
+            f"{n:>4} {before.memory_refs:>4}/{after.memory_refs:<4} "
+            f"{before.l2_refs:>4}/{after.l2_refs:<4} "
+            f"{str(decision):>8} {d_l1:>7.2f} {d_l2:>7.2f}"
+        )
+
+    print(
+        "\nFusion always saves 3 memory references/iteration (the shared "
+        "ZA/ZB/ZR leading\nreferences) but can lose group reuse on the "
+        "small L1 cache; the cost model weighs\nthe two (L2 misses cost "
+        f"{model.l2_miss_cost:.0f} cycles vs {model.l1_miss_cost:.0f} "
+        "for L1) exactly as Section 4 prescribes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Where do the misses go?  Cold / capacity / conflict, before and after PAD.
+
+The paper's padding transformations exist to remove *conflict* misses.
+This example decomposes each kernel's direct-mapped L1 misses with the
+classic three-way taxonomy (reuse distances against a fully-associative
+LRU cache of the same size) and shows that PAD removes exactly the
+conflict slice, leaving cold and capacity misses untouched.
+
+Run:  python examples/miss_taxonomy.py
+"""
+
+import numpy as np
+
+from repro import DataLayout, ultrasparc_i
+from repro.cache import classify_misses
+from repro.kernels.registry import get_kernel
+from repro.transforms import pad
+
+PROGRAMS = {"dot": 8192, "jacobi": 96, "expl": 64, "su2cor": 64}
+
+
+def main() -> None:
+    hier = ultrasparc_i()
+    l1 = hier.l1
+    print(f"L1 = {l1.size // 1024}K direct-mapped, {l1.line_size}B lines\n")
+    print(f"{'program':<8} {'layout':<7} {'cold%':>7} {'capacity%':>10} "
+          f"{'conflict%':>10}")
+    print("-" * 46)
+    for name, n in PROGRAMS.items():
+        kernel = get_kernel(name)
+        prog = kernel.program(n)
+        seq = DataLayout.sequential(prog)
+        padded = pad(prog, seq, l1.size, l1.line_size)
+        for label, layout in [("orig", seq), ("PAD", padded)]:
+            trace = np.concatenate(list(kernel.trace_chunks(prog, layout)))
+            t = classify_misses(trace, l1)
+            print(
+                f"{name:<8} {label:<7} {100 * t.rate('cold'):>7.2f} "
+                f"{100 * t.rate('capacity'):>10.2f} "
+                f"{100 * t.rate('conflict'):>10.2f}"
+            )
+        print()
+    print(
+        "PAD's effect is confined to the conflict column: cold misses are\n"
+        "compulsory and capacity misses need loop transformations (tiling,\n"
+        "fusion), not data placement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: build a loop nest, simulate it, pad it, compare.
+
+Demonstrates the core pipeline of the library in ~40 lines:
+
+1. describe a Fortran-style program in the IR builder,
+2. lay its arrays out sequentially (the "original" layout),
+3. simulate the paper's UltraSparc I two-level hierarchy,
+4. eliminate the severe conflict misses with PAD / MULTILVLPAD,
+5. compare miss rates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DataLayout, ProgramBuilder, simulate_program, ultrasparc_i
+from repro.transforms import multilvl_pad, pad
+
+
+def main() -> None:
+    hier = ultrasparc_i()
+
+    # The DOT kernel scenario: two vectors, each an exact multiple of both
+    # cache sizes, so X(k) and Z(k) ping-pong in the same cache line.
+    n = 65536  # 512 KB per vector
+    b = ProgramBuilder("quickstart")
+    X = b.array("X", (n,))
+    Z = b.array("Z", (n,))
+    (k,) = b.vars("k")
+    b.nest([b.loop(k, 1, n)], [b.use(reads=[Z[k], X[k]], flops=2)])
+    prog = b.build()
+
+    original = DataLayout.sequential(prog)
+    layouts = {
+        "original": original,
+        "PAD (L1 only)": pad(prog, original, hier.l1.size, hier.l1.line_size),
+        "MULTILVLPAD (L1&L2)": multilvl_pad(prog, original, hier),
+    }
+
+    print(f"program: {prog.name}, {prog.total_refs():,} references")
+    print(f"hierarchy: L1 {hier.l1.size // 1024}K/{hier.l1.line_size}B, "
+          f"L2 {hier.l2.size // 1024}K/{hier.l2.line_size}B\n")
+    header = f"{'layout':<22} {'pads':<12} {'L1 miss%':>9} {'L2 miss%':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, layout in layouts.items():
+        result = simulate_program(prog, layout, hier)
+        print(
+            f"{name:<22} {str(layout.pads):<12} "
+            f"{100 * result.miss_rate('L1'):>8.2f} "
+            f"{100 * result.miss_rate('L2'):>8.2f}"
+        )
+    print(
+        "\nPAD moves Z one L1 line away from X, killing the ping-pong at "
+        "both levels;\nMULTILVLPAD uses the larger L2 line (64B) so the "
+        "L2-level conflict goes too."
+    )
+
+
+if __name__ == "__main__":
+    main()

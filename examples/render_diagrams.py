@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Render the paper's layout diagrams (Figures 3/4/5) as SVG files.
+
+Writes three SVGs into ``diagrams/`` -- the Figure 2 example program under
+PAD, GROUPPAD, and GROUPPAD+L2MAXPAD layouts -- drawn the way the paper
+draws them: a box per cache, dots at reference positions, arcs solid when
+the group reuse survives and dashed when it is lost.
+
+Run:  python examples/render_diagrams.py
+"""
+
+import pathlib
+
+from repro import DataLayout, ultrasparc_i
+from repro.layout.svg import diagrams_svg
+from repro.transforms import grouppad, l2maxpad, pad
+
+from padding_diagrams import build_fig2  # reuse the example program
+
+
+def main() -> None:
+    hier = ultrasparc_i()
+    n = 896
+    prog = build_fig2(n)
+    seq = DataLayout.sequential(prog)
+
+    out = pathlib.Path("diagrams")
+    out.mkdir(exist_ok=True)
+
+    jobs = {
+        "fig3_pad": (
+            pad(prog, seq, hier.l1.size, hier.l1.line_size),
+            hier.l1.size, hier.l1.line_size,
+        ),
+        "fig4_grouppad": (
+            grouppad(prog, seq, hier.l1.size, hier.l1.line_size),
+            hier.l1.size, hier.l1.line_size,
+        ),
+    }
+    gp = jobs["fig4_grouppad"][0]
+    jobs["fig5_l2maxpad_on_l2"] = (
+        l2maxpad(prog, gp, hier), hier.l2.size, hier.l2.line_size,
+    )
+
+    for name, (layout, cache, line) in jobs.items():
+        svg = diagrams_svg(prog, layout, cache, line)
+        path = out / f"{name}.svg"
+        path.write_text(svg)
+        print(f"wrote {path} ({len(svg)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

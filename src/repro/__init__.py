@@ -1,0 +1,112 @@
+"""repro -- reproduction of Rivera & Tseng, *Locality Optimizations for
+Multi-Level Caches* (SC '99).
+
+The package implements, from scratch, every system the paper relies on:
+
+* :mod:`repro.cache` -- a trace-driven multi-level cache simulator
+  (vectorized direct-mapped + set-associative LRU);
+* :mod:`repro.ir` -- a mini-Fortran loop-nest IR with affine subscripts;
+* :mod:`repro.trace` -- lowering IR programs to address traces;
+* :mod:`repro.layout` -- base addresses, pads, conflict detection and the
+  paper's cache-layout diagrams;
+* :mod:`repro.analysis` -- reuse classification, group-reuse arcs, fusion
+  accounting, analytic miss models;
+* :mod:`repro.transforms` -- PAD / MULTILVLPAD / GROUPPAD / MAXPAD /
+  L2MAXPAD padding, loop permutation, fusion, and tiling with
+  self-interference-free tile-size selection;
+* :mod:`repro.kernels` -- the Table 1 programs as IR + runnable NumPy code;
+* :mod:`repro.experiments` -- harnesses regenerating every figure.
+
+Quickstart::
+
+    from repro import ProgramBuilder, DataLayout, simulate_program, ultrasparc_i
+    from repro.transforms import pad
+
+    b = ProgramBuilder("example")
+    n = 2048
+    A, B = b.array("A", (n,)), b.array("B", (n,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.assign(B[i], reads=[A[i]], flops=1)])
+    prog = b.build()
+
+    hier = ultrasparc_i()
+    original = DataLayout.sequential(prog)
+    padded = pad(prog, original, hier.l1.size, hier.l1.line_size)
+    for name, layout in [("orig", original), ("pad", padded)]:
+        r = simulate_program(prog, layout, hier)
+        print(name, r.summary())
+"""
+
+from repro.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    LevelStats,
+    SimulationResult,
+    alpha_21164,
+    ultrasparc_i,
+)
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Program,
+    ProgramBuilder,
+    Statement,
+    const,
+    var,
+)
+from repro.layout import CacheDiagram, DataLayout
+from repro.simulate import simulate_nest, simulate_program
+from repro.driver import OptimizationReport, optimize
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    IRError,
+    LayoutError,
+    ReproError,
+    SimulationError,
+    TransformError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cache
+    "CacheConfig",
+    "HierarchyConfig",
+    "CacheHierarchy",
+    "LevelStats",
+    "SimulationResult",
+    "ultrasparc_i",
+    "alpha_21164",
+    # ir
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "Program",
+    "ProgramBuilder",
+    "var",
+    "const",
+    # layout & simulation
+    "DataLayout",
+    "CacheDiagram",
+    "simulate_program",
+    "simulate_nest",
+    "optimize",
+    "OptimizationReport",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "IRError",
+    "LayoutError",
+    "TransformError",
+    "AnalysisError",
+    "SimulationError",
+]

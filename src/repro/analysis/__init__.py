@@ -1,0 +1,57 @@
+"""Locality analyses: reuse classification, group reuse, cost models.
+
+These are the "compiler side" models -- what the paper's transformations
+use to make decisions.  The cache simulator (:mod:`repro.cache`) is the
+"evaluation side"; keeping them separate mirrors the paper's methodology,
+where compile-time reuse analysis predicts what the simulator then
+measures (Section 6.4 checks exactly that correspondence).
+"""
+
+from repro.analysis.groups import ReuseArc, UniformClass, uniform_classes, reuse_arcs
+from repro.analysis.reuse import (
+    ReuseKind,
+    RefReuse,
+    classify_ref,
+    classify_nest,
+    innermost_locality_score,
+)
+from repro.analysis.dependence import (
+    Dependence,
+    distance_vector,
+    nest_dependences,
+    permutation_legal,
+    reversal_legal,
+)
+from repro.analysis.footprint import nest_footprint_bytes, columns_in_cache
+from repro.analysis.costmodel import MissCostModel, estimate_nest_misses
+from repro.analysis.fusionmodel import (
+    FusionAccounting,
+    account_nests,
+    fusion_delta,
+    fusion_profitable,
+)
+
+__all__ = [
+    "ReuseArc",
+    "UniformClass",
+    "uniform_classes",
+    "reuse_arcs",
+    "ReuseKind",
+    "RefReuse",
+    "classify_ref",
+    "classify_nest",
+    "innermost_locality_score",
+    "nest_footprint_bytes",
+    "columns_in_cache",
+    "Dependence",
+    "distance_vector",
+    "nest_dependences",
+    "permutation_legal",
+    "reversal_legal",
+    "MissCostModel",
+    "estimate_nest_misses",
+    "FusionAccounting",
+    "account_nests",
+    "fusion_delta",
+    "fusion_profitable",
+]

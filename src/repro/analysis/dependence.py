@@ -1,0 +1,206 @@
+"""Data-dependence analysis for uniformly generated references.
+
+The transformations' legality questions reduce to *distance vectors*: for
+a pair of same-array references with at least one write, the per-loop
+iteration distance at which the two touch the same element.  For the
+paper's reference shape (each subscript one loop variable plus a
+constant) a component is an exact integer; a loop the subscripts do not
+mention leaves that component *unconstrained* (the classical ``*``
+direction: a reference invariant in a loop touches the same element at
+every iteration of it).  Anything else is unanalyzable and treated
+conservatively.
+
+Legality tests enumerate the ``*`` components over sign patterns
+(lexicographic order only sees signs): a permutation is legal iff no
+instantiation that is forward (lex-positive) in the original order
+becomes backward (lex-negative) after permuting -- Wolf & Lam's test
+[30].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.ir.loops import LoopNest
+from repro.ir.refs import ArrayRef
+
+__all__ = [
+    "Dependence",
+    "distance_vector",
+    "nest_dependences",
+    "permutation_legal",
+    "reversal_legal",
+]
+
+Star = None  # unconstrained component marker in distance tuples
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One (unordered) dependence between two references of a nest.
+
+    ``distance`` maps each loop (outermost first) to an exact integer or
+    ``None`` for unconstrained (``*``): the sink touches the source's
+    element when their iteration vectors differ by any instantiation of
+    the tuple.
+    """
+
+    ref_a: ArrayRef
+    ref_b: ArrayRef
+    distance: tuple[Optional[int], ...]
+    kind: str  # "flow/anti" | "output" | "input-free" (never emitted)
+
+    def instantiations(self):
+        """Sign-pattern instantiations of the ``*`` components."""
+        options = [(-1, 0, 1) if d is None else (d,) for d in self.distance]
+        return itertools.product(*options)
+
+    @property
+    def is_exact(self) -> bool:
+        return all(d is not None for d in self.distance)
+
+    def carrying_level(self) -> Optional[int]:
+        """Outermost loop carrying the dependence when exact; None for
+        loop-independent or inexact distances."""
+        if not self.is_exact:
+            return None
+        for i, d in enumerate(self.distance):
+            if d != 0:
+                return i
+        return None
+
+
+def distance_vector(
+    ref_a: ArrayRef, ref_b: ArrayRef, loop_vars: Sequence[str]
+) -> Optional[tuple]:
+    """Distance tuple with ``ref_b(I + d) == ref_a(I)`` elementwise.
+
+    Components are ints, or ``None`` for loops the subscripts never
+    mention (unconstrained).  Returns ``()`` when the references provably
+    never touch the same element (different constant planes), and
+    ``None`` when the pair is unanalyzable (transposed/scaled subscripts).
+    """
+    if ref_a.array != ref_b.array or ref_a.rank != ref_b.rank:
+        return None
+    shift: dict[str, int] = {}
+    for sa, sb in zip(ref_a.subscripts, ref_b.subscripts):
+        va, vb = sa.variables, sb.variables
+        if va != vb or len(va) > 1:
+            return None
+        if not va:
+            if sa.constant != sb.constant:
+                return ()  # disjoint planes: no dependence at all
+            continue
+        v = va[0]
+        if v not in loop_vars or sa.coeff(v) != 1 or sb.coeff(v) != 1:
+            return None
+        delta = sa.constant - sb.constant
+        if v in shift and shift[v] != delta:
+            return ()  # contradictory requirements: never equal
+        shift[v] = delta
+    return tuple(shift.get(v, Star) for v in loop_vars)
+
+
+def nest_dependences(nest: LoopNest) -> list[Dependence]:
+    """All dependence relations among the nest's references.
+
+    Considers unordered pairs with at least one write (including a
+    reference with itself when it writes and is loop-invariant somewhere).
+    Unanalyzable pairs raise :class:`AnalysisError`; catch it to be
+    conservative.
+    """
+    loop_vars = nest.loop_vars
+    refs = list(nest.refs)
+    out: list[Dependence] = []
+    for i, ra in enumerate(refs):
+        for rb in refs[i:]:
+            if ra.array != rb.array:
+                continue
+            if not (ra.is_write or rb.is_write):
+                continue
+            d = distance_vector(ra, rb, loop_vars)
+            if d is None:
+                raise AnalysisError(
+                    f"cannot analyze dependence between {ra!r} and {rb!r}"
+                )
+            if d == ():
+                continue  # provably independent
+            if ra is rb and all(x == 0 for x in d):
+                continue  # a ref against itself at the same iteration only
+            kind = "output" if (ra.is_write and rb.is_write) else "flow/anti"
+            # Normalize exact distances to source->sink (lex-positive);
+            # tuples with '*' components keep both directions implicitly.
+            src, snk = ra, rb
+            if all(x is not None for x in d) and _lex_sign(d) < 0:
+                src, snk = rb, ra
+                d = tuple(-x for x in d)
+            out.append(Dependence(ref_a=src, ref_b=snk, distance=d, kind=kind))
+    return out
+
+
+def _lex_sign(v: Sequence[int]) -> int:
+    for x in v:
+        if x > 0:
+            return 1
+        if x < 0:
+            return -1
+    return 0
+
+
+def permutation_legal(nest: LoopNest, order: Sequence[str]) -> bool:
+    """Is permuting the nest's loops to ``order`` dependence-legal?
+
+    Illegal iff some instantiation of some dependence runs forward in the
+    original order but backward after permutation.  Unanalyzable nests
+    answer False (conservative).
+    """
+    order = tuple(order)
+    if sorted(order) != sorted(nest.loop_vars):
+        raise AnalysisError(f"{order} is not a permutation of {nest.loop_vars}")
+    try:
+        deps = nest_dependences(nest)
+    except AnalysisError:
+        return False
+    index = [nest.loop_vars.index(v) for v in order]
+    for dep in deps:
+        for inst in dep.instantiations():
+            # The dependence is unordered: the executed (forward) pair is
+            # inst when lex-positive, its negation when lex-negative.
+            sign = _lex_sign(inst)
+            if sign == 0:
+                continue  # loop-independent: statement order preserved
+            forward = inst if sign > 0 else tuple(-x for x in inst)
+            permuted = tuple(forward[i] for i in index)
+            if _lex_sign(permuted) < 0:
+                return False
+    return True
+
+
+def reversal_legal(nest: LoopNest, loop_var: str) -> bool:
+    """Is reversing one loop dependence-legal?
+
+    Illegal iff some forward instantiation's order flips when the
+    component at that loop is negated.
+    """
+    if loop_var not in nest.loop_vars:
+        raise AnalysisError(f"no loop {loop_var!r} in nest")
+    level = nest.loop_vars.index(loop_var)
+    try:
+        deps = nest_dependences(nest)
+    except AnalysisError:
+        return False
+    for dep in deps:
+        for inst in dep.instantiations():
+            sign = _lex_sign(inst)
+            if sign == 0:
+                continue
+            forward = inst if sign > 0 else tuple(-x for x in inst)
+            flipped = tuple(
+                -x if i == level else x for i, x in enumerate(forward)
+            )
+            if _lex_sign(flipped) < 0:
+                return False
+    return True

@@ -1,0 +1,49 @@
+"""Working-set (footprint) estimates.
+
+Used by fusion (capacity check: "we assume no reuse between nests due to
+capacity constraints"), by GROUPPAD (how many columns fit in the cache),
+and by tiling profitability.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program
+from repro.ir.ranges import affine_interval, loop_var_ranges
+
+__all__ = ["nest_footprint_bytes", "columns_in_cache", "ref_span_bytes"]
+
+
+def ref_span_bytes(program: Program, nest: LoopNest, array: str) -> int:
+    """Bytes of ``array`` spanned by the nest's references to it.
+
+    Interval width of the reference offsets over the iteration space plus
+    one element -- an upper bound on the data touched in that array.
+    """
+    decl = program.decl(array)
+    ranges = loop_var_ranges(nest)
+    lo, hi = None, None
+    for ref in nest.refs:
+        if ref.array != array:
+            continue
+        rlo, rhi = affine_interval(ref.offset_expr(decl), ranges)
+        lo = rlo if lo is None else min(lo, rlo)
+        hi = rhi if hi is None else max(hi, rhi)
+    if lo is None:
+        return 0
+    return (hi - lo) + decl.element_size
+
+
+def nest_footprint_bytes(program: Program, nest: LoopNest) -> int:
+    """Total bytes touched by a nest (sum of per-array spans)."""
+    return sum(ref_span_bytes(program, nest, a) for a in nest.arrays_used())
+
+
+def columns_in_cache(program: Program, array: str, cache_size: int) -> float:
+    """How many columns of ``array`` a cache of ``cache_size`` bytes holds.
+
+    The quantity the paper uses to explain Figure 11: the 16K L1 "can hold
+    only 3 to 8 columns, depending on problem size".
+    """
+    col = program.decl(array).column_size_bytes
+    return cache_size / col

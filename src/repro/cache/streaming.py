@@ -1,0 +1,166 @@
+"""Streaming (chunk-at-a-time) cache simulation.
+
+Large programs are traced as a sequence of NumPy chunks
+(:mod:`repro.trace.generator`); these simulators carry cache state between
+chunks so whole-program miss counts are identical to simulating the
+concatenated trace, with bounded memory.
+
+For a direct-mapped level the carried state is one tag per set.  Inside a
+chunk the sort-based classification of :mod:`repro.cache.direct` applies;
+only each set's *first* access in the chunk needs the carried tag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.stats import LevelStats, SimulationResult
+from repro.errors import SimulationError
+
+__all__ = ["StreamingDirectCache", "StreamingAssocCache", "StreamingHierarchy"]
+
+
+class StreamingDirectCache:
+    """Direct-mapped cache with persistent per-set tags across chunks."""
+
+    def __init__(self, size: int, line_size: int):
+        if line_size <= 0 or size <= 0 or size % line_size != 0:
+            raise SimulationError(
+                f"invalid direct-mapped geometry: size={size}, line_size={line_size}"
+            )
+        self.size = size
+        self.line_size = line_size
+        self.num_sets = size // line_size
+        self._tags = np.full(self.num_sets, -1, dtype=np.int64)
+        self.accesses = 0
+        self.misses = 0
+
+    def feed(self, addresses: np.ndarray) -> np.ndarray:
+        """Classify one chunk; returns its miss mask and updates state."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if addresses.min() < 0:
+            raise SimulationError("trace contains negative addresses")
+        lines = addresses // self.line_size
+        sets = lines % self.num_sets
+        tags = lines // self.num_sets
+
+        order = np.argsort(sets, kind="stable")
+        sets_s = sets[order]
+        tags_s = tags[order]
+
+        miss_s = np.empty(n, dtype=bool)
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = sets_s[1:] != sets_s[:-1]
+        # First access per set in this chunk: compare with carried tag.
+        miss_s[first] = self._tags[sets_s[first]] != tags_s[first]
+        # Later accesses: compare with the previous access to the same set.
+        rest = ~first
+        if rest.any():
+            idx = np.nonzero(rest)[0]
+            miss_s[idx] = tags_s[idx] != tags_s[idx - 1]
+
+        # Carry out: last tag per set (the final element of each run).
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        last[:-1] = sets_s[1:] != sets_s[:-1]
+        self._tags[sets_s[last]] = tags_s[last]
+
+        miss = np.empty(n, dtype=bool)
+        miss[order] = miss_s
+        self.accesses += n
+        self.misses += int(miss.sum())
+        return miss
+
+
+class StreamingAssocCache:
+    """k-way LRU cache with persistent state (sequential replay)."""
+
+    def __init__(self, size: int, line_size: int, associativity: int):
+        if (
+            line_size <= 0
+            or size <= 0
+            or associativity <= 0
+            or size % (line_size * associativity) != 0
+        ):
+            raise SimulationError(
+                f"invalid geometry: size={size}, line_size={line_size}, "
+                f"assoc={associativity}"
+            )
+        self.size = size
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = size // (line_size * associativity)
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def feed(self, addresses: np.ndarray) -> np.ndarray:
+        """Classify one chunk; returns its miss mask and updates LRU state."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        miss = np.zeros(addresses.size, dtype=bool)
+        if addresses.size and addresses.min() < 0:
+            raise SimulationError("trace contains negative addresses")
+        lines = (addresses // self.line_size).tolist()
+        k = self.associativity
+        for i, line in enumerate(lines):
+            s = line % self.num_sets
+            tag = line // self.num_sets
+            ways = self._sets[s]
+            try:
+                pos = ways.index(tag)
+            except ValueError:
+                miss[i] = True
+                ways.insert(0, tag)
+                if len(ways) > k:
+                    ways.pop()
+            else:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+        self.accesses += int(addresses.size)
+        self.misses += int(miss.sum())
+        return miss
+
+
+def _make_level(cfg: CacheConfig):
+    if cfg.is_direct_mapped:
+        return StreamingDirectCache(cfg.size, cfg.line_size)
+    return StreamingAssocCache(cfg.size, cfg.line_size, cfg.associativity)
+
+
+class StreamingHierarchy:
+    """Multi-level streaming simulation: feed chunks, then read the result."""
+
+    def __init__(self, config: HierarchyConfig):
+        self.config = config
+        self._levels = [_make_level(cfg) for cfg in config]
+        self.total_refs = 0
+
+    def feed(self, addresses: np.ndarray) -> None:
+        """Push one trace chunk through every level."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self.total_refs += int(addresses.size)
+        stream = addresses
+        for level in self._levels:
+            mask = level.feed(stream)
+            stream = stream[mask]
+
+    def feed_all(self, chunks) -> "StreamingHierarchy":
+        """Consume an iterable of chunks; returns self for chaining."""
+        for chunk in chunks:
+            self.feed(chunk)
+        return self
+
+    def result(self) -> SimulationResult:
+        """Aggregate statistics of everything fed so far."""
+        return SimulationResult(
+            total_refs=self.total_refs,
+            levels=tuple(
+                LevelStats(name=cfg.name, accesses=lv.accesses, misses=lv.misses)
+                for cfg, lv in zip(self.config, self._levels)
+            ),
+        )

@@ -1,0 +1,189 @@
+"""Write-back modeling: dirty-line evictions on a direct-mapped cache.
+
+The paper's simulations count reads and writes identically; real
+hierarchies additionally pay for *write-backs* -- evictions of dirty
+lines.  This extension tracks them so experiments can report memory
+traffic, not just miss counts (the DOT footnote about "the underlying
+memory system" is the paper's own hint that traffic effects exist).
+
+The implementation stays vectorized: within a chunk sorted by set, the
+line evicted at each miss was resident since the previous miss to the
+same set, so "was it dirtied?" is a difference of a prefix-sum of the
+write mask over that span.  Cross-chunk state carries each set's resident
+tag and dirty bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["WritebackDirectCache", "WritebackStats", "simulate_writebacks"]
+
+
+@dataclass(frozen=True)
+class WritebackStats:
+    """Counters accumulated by a write-back simulation."""
+
+    accesses: int
+    misses: int
+    writebacks: int
+
+    @property
+    def memory_transfers(self) -> int:
+        """Line transfers to/from the next level: fills plus write-backs."""
+        return self.misses + self.writebacks
+
+
+class WritebackDirectCache:
+    """Direct-mapped write-back, write-allocate cache with dirty bits."""
+
+    def __init__(self, size: int, line_size: int):
+        if line_size <= 0 or size <= 0 or size % line_size != 0:
+            raise SimulationError(
+                f"invalid geometry: size={size}, line_size={line_size}"
+            )
+        self.size = size
+        self.line_size = line_size
+        self.num_sets = size // line_size
+        self._tags = np.full(self.num_sets, -1, dtype=np.int64)
+        self._dirty = np.zeros(self.num_sets, dtype=bool)
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def feed(self, addresses: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Classify one chunk; returns its miss mask, tallies write-backs."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        if addresses.shape != writes.shape:
+            raise SimulationError("addresses and writes must align")
+        n = addresses.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if addresses.min() < 0:
+            raise SimulationError("trace contains negative addresses")
+
+        lines = addresses // self.line_size
+        sets = lines % self.num_sets
+        tags = lines // self.num_sets
+
+        order = np.argsort(sets, kind="stable")
+        sets_s = sets[order]
+        tags_s = tags[order]
+        w_s = writes[order]
+        idx = np.arange(n)
+
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = sets_s[1:] != sets_s[:-1]
+        run_start = idx[first][np.cumsum(first) - 1]  # start index of my run
+
+        miss_s = np.empty(n, dtype=bool)
+        miss_s[first] = self._tags[sets_s[first]] != tags_s[first]
+        rest = ~first
+        if rest.any():
+            r = np.nonzero(rest)[0]
+            miss_s[r] = tags_s[r] != tags_s[r - 1]
+
+        # Prefix sums of writes (inclusive) for span queries.
+        cumw = np.cumsum(w_s)
+
+        # Previous miss position in the same run, or -1.
+        acc = np.maximum.accumulate(np.where(miss_s, idx, -1))
+        prev_global = np.empty(n, dtype=np.int64)
+        prev_global[0] = -1
+        prev_global[1:] = acc[:-1]
+        prev_in_run = np.where(prev_global >= run_start, prev_global, -1)
+
+        miss_idx = idx[miss_s]
+        if miss_idx.size:
+            p = prev_in_run[miss_s]
+            rs = run_start[miss_s]
+            s_of_miss = sets_s[miss_s]
+
+            # Case 1: the evicted line was loaded at p (a miss in this chunk).
+            have_prev = p >= 0
+            span_lo = np.where(have_prev, p, rs)
+            writes_in_span = cumw[np.maximum(miss_idx - 1, 0)] - np.where(
+                span_lo > 0, cumw[span_lo - 1], 0
+            )
+            writes_in_span = np.where(miss_idx > span_lo, writes_in_span, 0)
+            # The loading access itself may have been a write.
+            loaded_dirty = np.where(have_prev, w_s[np.maximum(p, 0)], False)
+            dirty_now = (writes_in_span > 0) | loaded_dirty
+            # Case 2 extras: carried line's dirty bit, and validity.
+            carried_valid = self._tags[s_of_miss] != -1
+            carried_dirty = self._dirty[s_of_miss]
+            evict_valid = np.where(have_prev, True, carried_valid)
+            evict_dirty = np.where(
+                have_prev, dirty_now, carried_dirty | dirty_now
+            )
+            self.writebacks += int((evict_valid & evict_dirty).sum())
+
+        # Carry out per-set state from the last access of each run.
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        last[:-1] = sets_s[1:] != sets_s[:-1]
+        last_idx = idx[last]
+        s_last = sets_s[last]
+        # The resident line at chunk end = tag at the last access; its dirty
+        # bit = writes since it was loaded (last miss in run, or carried).
+        lm = acc[last_idx]
+        lm_in_run = np.where(lm >= run_start[last_idx], lm, -1)
+        have_lm = lm_in_run >= 0
+        span_lo = np.where(have_lm, lm_in_run, run_start[last_idx])
+        writes_since = cumw[last_idx] - np.where(span_lo > 0, cumw[span_lo - 1], 0)
+        base_dirty = np.where(have_lm, False, self._dirty[s_last])
+        new_dirty = base_dirty | (writes_since > 0)
+        self._tags[s_last] = tags_s[last_idx]
+        self._dirty[s_last] = new_dirty
+
+        miss = np.empty(n, dtype=bool)
+        miss[order] = miss_s
+        self.accesses += n
+        self.misses += int(miss_s.sum())
+        return miss
+
+    def flush(self) -> int:
+        """Write back all remaining dirty lines; returns how many."""
+        count = int(self._dirty.sum())
+        self.writebacks += count
+        self._dirty[:] = False
+        return count
+
+    @property
+    def stats(self) -> WritebackStats:
+        """Snapshot of the accumulated counters."""
+        return WritebackStats(
+            accesses=self.accesses, misses=self.misses, writebacks=self.writebacks
+        )
+
+
+def simulate_writebacks(
+    program, layout, size: int, line_size: int, flush: bool = True
+) -> WritebackStats:
+    """Run a program's trace through a write-back cache.
+
+    Uses the statement structure to recover each reference's read/write
+    flag (every generated chunk covers whole iterations, so the per-
+    iteration write pattern tiles exactly).
+    """
+    from repro.trace.generator import nest_trace_chunks
+
+    cache = WritebackDirectCache(size, line_size)
+    for nest in program.nests:
+        pattern = np.array([r.is_write for r in nest.refs], dtype=bool)
+        for chunk in nest_trace_chunks(program, layout, nest):
+            if chunk.size % pattern.size:
+                raise SimulationError(
+                    "trace chunk does not cover whole iterations"
+                )
+            writes = np.tile(pattern, chunk.size // pattern.size)
+            cache.feed(chunk, writes)
+    if flush:
+        cache.flush()
+    return cache.stats

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "IRError",
+    "LayoutError",
+    "TransformError",
+    "AnalysisError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid cache or experiment configuration was supplied."""
+
+
+class IRError(ReproError):
+    """A malformed loop-nest IR construct was built or used."""
+
+
+class LayoutError(ReproError):
+    """A data-layout operation was invalid (unknown array, overlap, ...)."""
+
+
+class TransformError(ReproError):
+    """A program transformation could not be applied legally."""
+
+
+class AnalysisError(ReproError):
+    """A reuse/locality analysis was asked something it cannot answer."""
+
+
+class SimulationError(ReproError):
+    """The cache simulator was driven with invalid inputs."""

@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig9 [--quick]
+    python -m repro.experiments all --quick --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    ext_associativity,
+    ext_three_level,
+    ext_timetile,
+    ext_tlb,
+    fig9_pad,
+    fig10_grouppad,
+    fig11_sweep,
+    fig12_fusion,
+    fig13_tiling,
+    table1_programs,
+    timing,
+)
+
+EXPERIMENTS = {
+    "table1": table1_programs,
+    "fig9": fig9_pad,
+    "fig10": fig10_grouppad,
+    "fig11": fig11_sweep,
+    "fig12": fig12_fusion,
+    "fig13": fig13_tiling,
+    "timing": timing,
+    # Extensions beyond the paper's figures (claims made in its prose).
+    "associativity": ext_associativity,
+    "threelevel": ext_three_level,
+    "tlb": ext_tlb,
+    "timetile": ext_timetile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced problem sizes (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write each report to <out>/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        t0 = time.time()
+        result = module.run(quick=args.quick)
+        report = result.format()
+        elapsed = time.time() - t0
+        print(f"==== {name} ({elapsed:.1f}s) ====")
+        print(report)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

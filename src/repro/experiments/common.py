@@ -1,0 +1,98 @@
+"""Shared experiment plumbing: simulation, the cycle model, formatting.
+
+The cycle model substitutes for the paper's UltraSparc wall-clock numbers
+(DESIGN.md, Substitutions): every reference pays the L1 hit cost, every
+miss pays the next level's cost, and floating-point work pays a fixed
+per-flop cost at an UltraSparc-era clock.  Absolute MFLOPS are not
+comparable to 1999 hardware; relative shapes (who wins, where curves
+cross) are what the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.stats import SimulationResult
+from repro.cache.streaming import StreamingHierarchy
+from repro.ir.program import Program
+from repro.kernels.registry import Kernel
+from repro.layout.layout import DataLayout
+
+__all__ = [
+    "CLOCK_HZ",
+    "FLOP_CYCLES",
+    "CYCLE_MODEL_NOTE",
+    "VersionResult",
+    "simulate_kernel_layout",
+    "estimated_cycles",
+    "mflops",
+    "improvement_pct",
+]
+
+CLOCK_HZ = 143_000_000  # UltraSparc I clock
+FLOP_CYCLES = 2.0  # per-flop cost without scalar replacement / unrolling
+
+CYCLE_MODEL_NOTE = (
+    "timings are the cycle model (simulated misses x UltraSparc-era "
+    "penalties), not hardware wall-clock; see DESIGN.md Substitutions"
+)
+
+
+@dataclass(frozen=True)
+class VersionResult:
+    """One (program, layout-version) measurement."""
+
+    program: str
+    version: str
+    result: SimulationResult
+    flops: int
+
+    def miss_rate(self, level: str) -> float:
+        return self.result.miss_rate(level)
+
+    def cycles(self, hierarchy: HierarchyConfig) -> float:
+        return estimated_cycles(self.result, hierarchy, self.flops)
+
+    def mflops(self, hierarchy: HierarchyConfig) -> float:
+        return mflops(self.flops, self.cycles(hierarchy))
+
+
+def simulate_kernel_layout(
+    kernel: Kernel,
+    program: Program,
+    layout: DataLayout,
+    hierarchy: HierarchyConfig,
+) -> SimulationResult:
+    """Full-program simulation honoring the kernel's custom trace hook."""
+    sim = StreamingHierarchy(hierarchy)
+    sim.feed_all(kernel.trace_chunks(program, layout))
+    return sim.result()
+
+
+def estimated_cycles(
+    result: SimulationResult,
+    hierarchy: HierarchyConfig,
+    flops: int,
+    flop_cycles: float = FLOP_CYCLES,
+) -> float:
+    """Memory cycles from the simulation plus compute cycles for the flops."""
+    return result.cycles(hierarchy) + flops * flop_cycles
+
+
+def mflops(flops: int, cycles: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Achieved MFLOPS at the modeled clock."""
+    if cycles <= 0:
+        return 0.0
+    seconds = cycles / clock_hz
+    return flops / seconds / 1e6
+
+
+def improvement_pct(orig_cycles: float, opt_cycles: float) -> float:
+    """Execution-time improvement relative to the original, in percent.
+
+    Positive = faster, matching the paper's "Improvement (UltraSparc)" axes.
+    """
+    if orig_cycles <= 0:
+        return 0.0
+    return 100.0 * (orig_cycles - opt_cycles) / orig_cycles

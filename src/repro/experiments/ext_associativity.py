@@ -1,0 +1,110 @@
+"""Extension: the paper's associativity claim, measured.
+
+Section 1: "Our experience indicates that simply treating k-way
+associative caches as direct-mapped for locality optimizations achieves
+nearly all the benefits of explicitly considering higher associativity."
+
+This experiment pads for the *direct-mapped* model (PAD as usual) and then
+evaluates the same layouts on 2-way and 4-way LRU hierarchies of identical
+capacity.  Two observations support the claim when reproduced:
+
+1. padding chosen for a direct-mapped cache still removes most misses on
+   the associative caches (resonant layouts overwhelm any LRU);
+2. the residual miss rate after direct-mapped-targeted padding is already
+   close to the associative caches' floor, leaving little for an
+   associativity-aware algorithm to gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig, HierarchyConfig, ultrasparc_i
+from repro.experiments.common import simulate_kernel_layout
+from repro.kernels.registry import get_kernel
+from repro.layout.layout import DataLayout
+from repro.transforms.pad import pad
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "AssocResult", "assoc_hierarchy"]
+
+DEFAULT_PROGRAMS = ["dot", "expl", "jacobi", "su2cor"]
+QUICK_SIZES = {"dot": 16384, "expl": 192, "jacobi": 192, "su2cor": 128}
+
+
+def assoc_hierarchy(associativity: int) -> HierarchyConfig:
+    """The Section 6.1 hierarchy with k-way LRU at both levels."""
+    base = ultrasparc_i()
+    return HierarchyConfig(
+        levels=tuple(
+            CacheConfig(
+                size=c.size, line_size=c.line_size,
+                associativity=associativity, name=c.name,
+                hit_cycles=c.hit_cycles,
+            )
+            for c in base
+        ),
+        memory_cycles=base.memory_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class AssocResult:
+    """Miss rates of each program per (layout version, associativity)."""
+
+    # program -> {(version, assoc): l1_miss_rate}
+    rates: dict[str, dict[tuple[str, int], float]]
+
+    def format(self) -> str:
+        """Render the comparison table."""
+        rows = []
+        for prog, r in self.rates.items():
+            rows.append(
+                [
+                    prog,
+                    100 * r[("orig", 1)], 100 * r[("orig", 2)],
+                    100 * r[("orig", 4)],
+                    100 * r[("padded", 1)], 100 * r[("padded", 2)],
+                    100 * r[("padded", 4)],
+                ]
+            )
+        return format_table(
+            ["program",
+             "orig 1-way%", "orig 2-way%", "orig 4-way%",
+             "PAD 1-way%", "PAD 2-way%", "PAD 4-way%"],
+            rows,
+            title=(
+                "Associativity extension: L1 miss rates of direct-mapped-"
+                "targeted PAD on k-way caches"
+            ),
+        )
+
+    def headroom(self, program: str) -> float:
+        """How much a 4-way cache still improves on the padded
+        direct-mapped result -- the most an associativity-aware padding
+        algorithm could possibly recover (percentage points)."""
+        r = self.rates[program]
+        return 100 * (r[("padded", 1)] - r[("padded", 4)])
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+) -> AssocResult:
+    """Measure direct-mapped-targeted PAD on 1/2/4-way hierarchies."""
+    programs = programs or DEFAULT_PROGRAMS
+    dm = ultrasparc_i()
+    rates: dict[str, dict[tuple[str, int], float]] = {}
+    for name in programs:
+        kernel = get_kernel(name)
+        n = QUICK_SIZES.get(name) if quick else None
+        program = kernel.program(n)
+        seq = DataLayout.sequential(program)
+        padded = pad(program, seq, dm.l1.size, dm.l1.line_size)
+        rates[name] = {}
+        for assoc in (1, 2, 4):
+            hier = dm if assoc == 1 else assoc_hierarchy(assoc)
+            for version, layout in [("orig", seq), ("padded", padded)]:
+                result = simulate_kernel_layout(kernel, program, layout, hier)
+                rates[name][(version, assoc)] = result.miss_rate("L1")
+    return AssocResult(rates=rates)

@@ -1,0 +1,111 @@
+"""Figure 10: GROUPPAD with and without L2MAXPAD.
+
+Five programs "with numerous opportunities for improving group reuse":
+EXPL512, JACOBI512, SHAL512, SWIM, TOMCATV.  Versions:
+
+* ``orig``    -- sequential layout;
+* ``L1 Opt``  -- GROUPPAD alone (L1 cache);
+* ``L1&L2``   -- GROUPPAD followed by L2MAXPAD.
+
+Expected shape (Section 6.3.1): L1 optimization accounts for most of the
+L2 improvement too; only EXPL benefits further on L2 from L2MAXPAD; the
+L2 transformation never hurts L1 miss rates ("no inherent tradeoff").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.experiments.common import (
+    VersionResult,
+    improvement_pct,
+    simulate_kernel_layout,
+)
+from repro.kernels.registry import get_kernel
+from repro.layout.layout import DataLayout
+from repro.transforms.grouppad import grouppad
+from repro.transforms.maxpad import l2maxpad
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "Fig10Result", "DEFAULT_PROGRAMS"]
+
+DEFAULT_PROGRAMS = ["expl", "jacobi", "shal", "swim", "tomcatv"]
+QUICK_SIZES = {"expl": 192, "jacobi": 192, "shal": 128, "swim": 129, "tomcatv": 129}
+VERSIONS = ("orig", "L1 Opt", "L1&L2 Opt")
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """All (program, version) simulations for Figure 10."""
+
+    hierarchy: HierarchyConfig
+    results: tuple[VersionResult, ...]
+
+    def by_program(self) -> dict[str, dict[str, VersionResult]]:
+        """Group the flat result list as program -> version -> result."""
+        out: dict[str, dict[str, VersionResult]] = {}
+        for r in self.results:
+            out.setdefault(r.program, {})[r.version] = r
+        return out
+
+    def format(self) -> str:
+        """Render the two Figure 10 tables (miss rates, improvements)."""
+        rows_rates, rows_impr = [], []
+        for prog, versions in self.by_program().items():
+            rows_rates.append(
+                [prog]
+                + [100.0 * versions[v].miss_rate("L1") for v in VERSIONS]
+                + [100.0 * versions[v].miss_rate("L2") for v in VERSIONS]
+            )
+            base = versions["orig"].cycles(self.hierarchy)
+            rows_impr.append(
+                [
+                    prog,
+                    improvement_pct(base, versions["L1 Opt"].cycles(self.hierarchy)),
+                    improvement_pct(base, versions["L1&L2 Opt"].cycles(self.hierarchy)),
+                ]
+            )
+        t1 = format_table(
+            ["program",
+             "L1% orig", "L1% L1Opt", "L1% L1&L2",
+             "L2% orig", "L2% L1Opt", "L2% L1&L2"],
+            rows_rates,
+            title="Figure 10: miss rates, GROUPPAD vs GROUPPAD+L2MAXPAD",
+        )
+        t2 = format_table(
+            ["program", "improv% L1 Opt", "improv% L1&L2 Opt"],
+            rows_impr,
+            title="Figure 10: execution time improvement (cycle model)",
+        )
+        return t1 + "\n\n" + t2
+
+
+def layouts_for(program, hierarchy):
+    """(orig, GROUPPAD, GROUPPAD+L2MAXPAD) layouts for a program."""
+    orig = DataLayout.sequential(program)
+    gp = grouppad(program, orig, hierarchy.l1.size, hierarchy.l1.line_size)
+    both = l2maxpad(program, gp, hierarchy)
+    return {"orig": orig, "L1 Opt": gp, "L1&L2 Opt": both}
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+) -> Fig10Result:
+    """Simulate orig / GROUPPAD / GROUPPAD+L2MAXPAD for each program."""
+    hierarchy = hierarchy or ultrasparc_i()
+    programs = programs or DEFAULT_PROGRAMS
+    results: list[VersionResult] = []
+    for name in programs:
+        kernel = get_kernel(name)
+        n = QUICK_SIZES.get(name) if quick else None
+        program = kernel.program(n)
+        flops = program.total_flops()
+        for version, layout in layouts_for(program, hierarchy).items():
+            sim = simulate_kernel_layout(kernel, program, layout, hierarchy)
+            results.append(
+                VersionResult(program=name, version=version, result=sim, flops=flops)
+            )
+    return Fig10Result(hierarchy=hierarchy, results=tuple(results))

@@ -1,0 +1,97 @@
+"""Figure 11: miss rates over varying problem sizes (EXPL and SHAL).
+
+Problem sizes 250..520 (the paper's tick spacing is 13) for two versions:
+
+* ``L1 Opt``  -- GROUPPAD alone;
+* ``L1&L2``   -- GROUPPAD followed by L2MAXPAD.
+
+Expected shape (Section 6.3.2): the two versions share L1 curves; the
+``L1 Opt`` L2 curve shows *clusters* of problem sizes where the miss rate
+jumps by several points (array columns of different variables converging
+on the L2 cache), which the ``L1&L2`` version flattens -- its L2 curve is
+essentially invariant, while both L1 curves degrade as columns grow past
+the L1 capacity (it holds only 3..8 columns over this range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.experiments.common import simulate_kernel_layout
+from repro.experiments.fig10_grouppad import layouts_for
+from repro.kernels.registry import get_kernel
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "Fig11Result", "sweep_sizes"]
+
+DEFAULT_PROGRAMS = ("expl", "shal")
+
+
+def sweep_sizes(quick: bool = False) -> list[int]:
+    """The paper's x-axis: 250..520 step 13 (coarser for quick runs)."""
+    step = 45 if quick else 13
+    return list(range(250, 521, step))
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Problem-size sweep series for Figure 11."""
+
+    hierarchy: HierarchyConfig
+    # program -> list of (n, l1_rate_l1opt, l2_rate_l1opt, l1_rate_both, l2_rate_both)
+    series: dict[str, list[tuple[int, float, float, float, float]]]
+
+    def format(self) -> str:
+        """Render one miss-rate-vs-size table per program."""
+        tables = []
+        for prog, rows in self.series.items():
+            tables.append(
+                format_table(
+                    ["N", "L1% (L1 Opt)", "L2% (L1 Opt)",
+                     "L1% (L1&L2 Opt)", "L2% (L1&L2 Opt)"],
+                    [[n, 100 * a, 100 * b, 100 * c, 100 * d]
+                     for n, a, b, c, d in rows],
+                    title=f"Figure 11: {prog} miss rates over problem size",
+                )
+            )
+        return "\n\n".join(tables)
+
+    def l2_cluster_gap(self, program: str) -> float:
+        """Max excess of the L1-Opt L2 curve over the L1&L2 L2 curve --
+        the height of the clusters L2MAXPAD removes (percentage points)."""
+        rows = self.series[program]
+        return max(100 * (b - d) for _, _, b, _, d in rows)
+
+
+def run(
+    quick: bool = False,
+    programs: tuple[str, ...] = DEFAULT_PROGRAMS,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+) -> Fig11Result:
+    """Sweep problem sizes, simulating both GROUPPAD variants at each."""
+    hierarchy = hierarchy or ultrasparc_i()
+    sizes = sizes or sweep_sizes(quick)
+    series: dict[str, list[tuple[int, float, float, float, float]]] = {}
+    for name in programs:
+        kernel = get_kernel(name)
+        rows = []
+        for n in sizes:
+            program = kernel.program(n)
+            layouts = layouts_for(program, hierarchy)
+            l1opt = simulate_kernel_layout(kernel, program, layouts["L1 Opt"], hierarchy)
+            both = simulate_kernel_layout(
+                kernel, program, layouts["L1&L2 Opt"], hierarchy
+            )
+            rows.append(
+                (
+                    n,
+                    l1opt.miss_rate("L1"),
+                    l1opt.miss_rate("L2"),
+                    both.miss_rate("L1"),
+                    both.miss_rate("L2"),
+                )
+            )
+        series[name] = rows
+    return Fig11Result(hierarchy=hierarchy, series=series)

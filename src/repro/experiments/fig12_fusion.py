@@ -1,0 +1,117 @@
+"""Figure 12: the L1/L2 tradeoff of loop fusion in EXPL over problem size.
+
+For each problem size 250..700, the EXPL velocity-update and time-advance
+nests (which share four arrays) are fused.  Following Section 6.4:
+
+* the *analytic* series -- change in per-iteration L2 references and
+  memory references -- comes from the GROUPPAD reuse statistics
+  (:mod:`repro.analysis.fusionmodel`), with both versions laid out by
+  GROUPPAD (+L2MAXPAD assumed for L2 reuse);
+* the *simulated* series -- change in L1 and L2 miss rates -- divides both
+  versions' miss counts by the ORIGINAL version's reference count, since
+  fusion removes references.
+
+Expected shape: ΔL2-references varies with problem size (group reuse lost
+on L1 when the fused working set outgrows it) while Δmemory-references is
+a constant negative (fusion always saves the shared arrays' memory
+traffic); the simulated ΔL1 miss rate tracks ΔL2 references nearly
+linearly and the ΔL2 miss rate is a flat negative curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fusionmodel import FusionDelta, fusion_delta
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.experiments.common import simulate_kernel_layout
+from repro.kernels import expl
+from repro.kernels.registry import get_kernel
+from repro.layout.layout import DataLayout
+from repro.transforms.fusion import fuse_nests
+from repro.transforms.grouppad import grouppad
+from repro.transforms.maxpad import l2maxpad
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "Fig12Result", "fusion_pair_for"]
+
+
+def fusion_pair_for(n: int):
+    """(original program, fused program) for EXPL at problem size ``n``.
+
+    Fuses the nests named by :data:`repro.kernels.expl.FUSABLE_NESTS` with
+    ``check="none"`` -- the paper fuses this pair to study locality even
+    though the shared-array dependence would normally require shift-and-peel.
+    """
+    original = expl.build(n)
+    a, b = expl.FUSABLE_NESTS
+    fused = fuse_nests(original, a, b, check="none")
+    return original, fused
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Fusion delta series for Figure 12."""
+
+    hierarchy: HierarchyConfig
+    # (n, d_l2_refs, d_mem_refs, d_l1_rate, d_l2_rate)
+    rows: tuple[tuple[int, int, int, float, float], ...]
+
+    def format(self) -> str:
+        """Render the fusion-delta table."""
+        return format_table(
+            ["N", "Δ L2 refs", "Δ memory refs", "Δ L1 miss rate %", "Δ L2 miss rate %"],
+            [[n, dl2, dmem, 100 * dl1, 100 * dl2r]
+             for n, dl2, dmem, dl1, dl2r in self.rows],
+            title="Figure 12: change in references and miss rates from fusing EXPL",
+        )
+
+
+def _grouppad_layout(program, hierarchy) -> DataLayout:
+    gp = grouppad(
+        program, DataLayout.sequential(program),
+        hierarchy.l1.size, hierarchy.l1.line_size,
+    )
+    return l2maxpad(program, gp, hierarchy)
+
+
+def analytic_delta(n: int, hierarchy: HierarchyConfig) -> FusionDelta:
+    """Δ(L2 refs) and Δ(memory refs) for fusing EXPL at size ``n``."""
+    original, fused = fusion_pair_for(n)
+    a, b = expl.FUSABLE_NESTS
+    return fusion_delta(
+        original,
+        _grouppad_layout(original, hierarchy),
+        [original.nests[a], original.nests[b]],
+        fused,
+        _grouppad_layout(fused, hierarchy),
+        fused.nests[a],
+        hierarchy.l1.size,
+        hierarchy.l1.line_size,
+    )
+
+
+def run(
+    quick: bool = False,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+) -> Fig12Result:
+    """Analytic + simulated fusion deltas over the problem-size sweep."""
+    hierarchy = hierarchy or ultrasparc_i()
+    if sizes is None:
+        sizes = list(range(250, 701, 75 if quick else 24))
+    kernel = get_kernel("expl")
+    rows = []
+    for n in sizes:
+        original, fused = fusion_pair_for(n)
+        delta = analytic_delta(n, hierarchy)
+        lay_orig = _grouppad_layout(original, hierarchy)
+        lay_fused = _grouppad_layout(fused, hierarchy)
+        sim_orig = simulate_kernel_layout(kernel, original, lay_orig, hierarchy)
+        sim_fused = simulate_kernel_layout(kernel, fused, lay_fused, hierarchy)
+        # Both versions normalized by the ORIGINAL reference count (§6.4).
+        base = sim_orig.total_refs
+        d_l1 = (sim_fused.level("L1").misses - sim_orig.level("L1").misses) / base
+        d_l2 = (sim_fused.level("L2").misses - sim_orig.level("L2").misses) / base
+        rows.append((n, delta.l2_refs, delta.memory_refs, d_l1, d_l2))
+    return Fig12Result(hierarchy=hierarchy, rows=tuple(rows))

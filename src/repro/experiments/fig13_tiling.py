@@ -1,0 +1,114 @@
+"""Figure 13: tiled matrix-multiply performance over matrix size.
+
+Five versions at each size (the paper sweeps 100..400): untiled ``Orig``,
+and tiles sized for the L1 cache, 2xL1, 4xL1, and the L2 cache, with tile
+dimensions chosen to be self-interference-free (euc-style selection;
+L1-sized tiles avoid interference on L1, larger tiles on L2 -- they cannot
+fit the L1 at all).  MFLOPS come from the cycle model at the UltraSparc
+clock.
+
+Expected shape (Section 6.5): L1-sized tiles win overall and stay flat for
+large matrices (they also capture L2 reuse); L2-sized tiles only help once
+the data exceeds the L2 cache; 2xL1/4xL1 sit slightly above L2-sized,
+having lost "most L1 benefits as soon as tiles exceed what can fit in L1";
+the untiled version collapses once out of cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.cache.streaming import StreamingHierarchy
+from repro.experiments.common import estimated_cycles, mflops
+from repro.kernels import matmul
+from repro.trace.generator import program_trace_chunks
+from repro.transforms.tilesize import TileShape, select_tile
+from repro.layout.layout import DataLayout
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "Fig13Result", "tile_for_version", "TILE_VERSIONS"]
+
+TILE_VERSIONS = ("Orig", "L1", "2xL1", "4xL1", "L2")
+
+
+def tile_for_version(
+    version: str, n: int, hierarchy: HierarchyConfig, element_size: int = 8
+) -> TileShape | None:
+    """Self-interference-free tile shape for one Figure 13 version."""
+    if version == "Orig":
+        return None
+    l1, l2 = hierarchy.l1.size, hierarchy.l2.size
+    capacity = {"L1": l1, "2xL1": 2 * l1, "4xL1": 4 * l1, "L2": l2}[version]
+    # L1-sized tiles avoid interference on the L1 cache; larger tiles
+    # cannot, so their dimensions avoid interference on the L2 instead.
+    interference = l1 if version == "L1" else l2
+    line = hierarchy.l1.line_size if version == "L1" else hierarchy.l2.line_size
+    return select_tile(
+        column_bytes=n * element_size,
+        element_size=element_size,
+        rows=n,
+        cols=n,
+        capacity_bytes=capacity,
+        interference_cache_bytes=interference,
+        line_size=line,
+    )
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Per-version MFLOPS series for Figure 13."""
+
+    hierarchy: HierarchyConfig
+    # version -> list of (n, tile_w, tile_h, mflops)
+    series: dict[str, list[tuple[int, int, int, float]]]
+
+    def format(self) -> str:
+        """Render the MFLOPS-per-version table."""
+        sizes = [row[0] for row in next(iter(self.series.values()))]
+        rows = []
+        for i, n in enumerate(sizes):
+            row = [n]
+            for v in TILE_VERSIONS:
+                row.append(self.series[v][i][3])
+            rows.append(row)
+        return format_table(
+            ["N"] + [f"{v} MFLOPS" for v in TILE_VERSIONS],
+            rows,
+            title="Figure 13: tiled matmul performance (cycle model, UltraSparc clock)",
+        )
+
+    def mean_mflops(self, version: str) -> float:
+        """Average modeled MFLOPS of one version across the sweep."""
+        rows = self.series[version]
+        return sum(r[3] for r in rows) / len(rows)
+
+
+def run(
+    quick: bool = False,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    versions: tuple[str, ...] = TILE_VERSIONS,
+) -> Fig13Result:
+    """Simulate every tile version at every size; report modeled MFLOPS."""
+    hierarchy = hierarchy or ultrasparc_i()
+    if sizes is None:
+        sizes = [100, 160, 220] if quick else list(range(100, 401, 30))
+    series: dict[str, list[tuple[int, int, int, float]]] = {v: [] for v in versions}
+    for n in sizes:
+        for version in versions:
+            shape = tile_for_version(version, n, hierarchy)
+            if shape is None:
+                program = matmul.build(n)
+                w = h = 0
+            else:
+                program = matmul.build_tiled(n, shape.width, shape.height)
+                w, h = shape.width, shape.height
+            layout = DataLayout.sequential(program)
+            sim = StreamingHierarchy(hierarchy)
+            sim.feed_all(program_trace_chunks(program, layout))
+            result = sim.result()
+            flops = 2 * n * n * n
+            cycles = estimated_cycles(result, hierarchy, flops)
+            series[version].append((n, w, h, mflops(flops, cycles)))
+    return Fig13Result(hierarchy=hierarchy, series=series)

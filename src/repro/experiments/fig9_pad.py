@@ -1,0 +1,135 @@
+"""Figure 9: miss rates and execution-time improvements for PAD and MULTILVLPAD.
+
+Three versions of every Table 1 program:
+
+* ``orig``    -- sequential layout (the paper's unoptimized global struct);
+* ``L1 Opt``  -- PAD targeting only the L1 cache;
+* ``L1&L2``   -- MULTILVLPAD (PAD against the (S1, Lmax) virtual cache).
+
+As in Section 6.1, intra-variable (column) padding is applied first to
+ADI32 and ERLE64 so same-variable plane conflicts do not mask the
+inter-variable effects.  The third chart's execution-time improvement uses
+the cycle model (see :mod:`repro.experiments.common`).
+
+Expected shape (paper Section 6.2): PAD alone removes most severe
+conflicts at *both* levels; MULTILVLPAD is only slightly better on L2
+(mostly EXPL); timing gains are modest and occasionally negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.experiments.common import (
+    VersionResult,
+    improvement_pct,
+    simulate_kernel_layout,
+)
+from repro.kernels.registry import KERNELS, get_kernel
+from repro.layout.layout import DataLayout
+from repro.transforms.intrapad import intra_pad
+from repro.transforms.pad import multilvl_pad, pad
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "Fig9Result", "DEFAULT_PROGRAMS", "QUICK_SIZES"]
+
+DEFAULT_PROGRAMS = [k for k in KERNELS if KERNELS[k].suite != "extra"]
+INTRA_PAD_FIRST = ("adi32", "erle64")
+
+# Reduced problem sizes for the quick pass (benchmarks / CI).
+QUICK_SIZES = {
+    "adi32": 32, "dot": 16384, "erle64": 32, "expl": 192, "irr500k": 12_000,
+    "jacobi": 192, "linpackd": 96, "shal": 128, "appbt": 96, "applu": 128,
+    "appsp": 64, "buk": 30_000, "cgm": 6_000, "embar": 20_000, "fftpde": 32,
+    "mgrid": 32, "apsi": 63, "fpppp": 48, "hydro2d": 128, "su2cor": 128,
+    "swim": 129, "tomcatv": 129, "turb3d": 32, "wave5": 30_000,
+}
+
+VERSIONS = ("orig", "L1 Opt", "L1&L2 Opt")
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """All (program, version) simulations for Figure 9."""
+
+    hierarchy: HierarchyConfig
+    results: tuple[VersionResult, ...]  # 3 per program, VERSIONS order
+
+    def by_program(self) -> dict[str, dict[str, VersionResult]]:
+        """Group the flat result list as program -> version -> result."""
+        out: dict[str, dict[str, VersionResult]] = {}
+        for r in self.results:
+            out.setdefault(r.program, {})[r.version] = r
+        return out
+
+    def format(self) -> str:
+        """Render the two Figure 9 tables (miss rates, improvements)."""
+        rows_rates = []
+        rows_impr = []
+        for prog, versions in self.by_program().items():
+            orig = versions["orig"]
+            rates = [prog]
+            for v in VERSIONS:
+                rates.append(100.0 * versions[v].miss_rate("L1"))
+            for v in VERSIONS:
+                rates.append(100.0 * versions[v].miss_rate("L2"))
+            rows_rates.append(rates)
+            base = orig.cycles(self.hierarchy)
+            rows_impr.append(
+                [
+                    prog,
+                    improvement_pct(base, versions["L1 Opt"].cycles(self.hierarchy)),
+                    improvement_pct(base, versions["L1&L2 Opt"].cycles(self.hierarchy)),
+                ]
+            )
+        t1 = format_table(
+            ["program",
+             "L1% orig", "L1% L1Opt", "L1% L1&L2",
+             "L2% orig", "L2% L1Opt", "L2% L1&L2"],
+            rows_rates,
+            title="Figure 9: cache miss rates (percent of all references)",
+        )
+        t2 = format_table(
+            ["program", "improv% L1 Opt", "improv% L1&L2 Opt"],
+            rows_impr,
+            title="Figure 9: execution time improvement (cycle model)",
+        )
+        return t1 + "\n\n" + t2
+
+
+def _three_layouts(program, hierarchy):
+    """(orig, PAD, MULTILVLPAD) layouts for one program."""
+    orig = DataLayout.sequential(program)
+    l1 = pad(program, orig, hierarchy.l1.size, hierarchy.l1.line_size)
+    both = multilvl_pad(program, orig, hierarchy)
+    return {"orig": orig, "L1 Opt": l1, "L1&L2 Opt": both}
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+) -> Fig9Result:
+    """Simulate all three versions of each program."""
+    hierarchy = hierarchy or ultrasparc_i()
+    programs = programs or DEFAULT_PROGRAMS
+    results: list[VersionResult] = []
+    for name in programs:
+        kernel = get_kernel(name)
+        n = QUICK_SIZES.get(name) if quick else None
+        program = kernel.program(n)
+        if name in INTRA_PAD_FIRST:
+            program = intra_pad(
+                program, hierarchy.l1.size, hierarchy.l1.line_size,
+                hierarchy=hierarchy,
+            )
+        flops = program.total_flops()
+        for version, layout in _three_layouts(program, hierarchy).items():
+            sim = simulate_kernel_layout(kernel, program, layout, hierarchy)
+            results.append(
+                VersionResult(
+                    program=name, version=version, result=sim, flops=flops
+                )
+            )
+    return Fig9Result(hierarchy=hierarchy, results=tuple(results))

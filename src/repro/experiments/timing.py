@@ -1,0 +1,116 @@
+"""Wall-clock sanity series: real NumPy kernels on padded layouts.
+
+The paper times real code on an UltraSparc I.  We cannot, so the primary
+"timing" series is the cycle model -- but as a sanity check this module
+*actually executes* NumPy kernels whose arrays are views into one padded
+pool (:func:`repro.kernels.numeric.allocate_pool`), under the original and
+PAD layouts, and reports measured improvements.  On CPython the
+interpreter and NumPy dispatch overheads swamp most cache effects (the
+expectation recorded in DESIGN.md), which is itself a result worth
+reporting alongside the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.kernels import dot as dot_kernel
+from repro.kernels import jacobi as jacobi_kernel
+from repro.kernels.numeric import allocate_pool, run_dot, run_jacobi
+from repro.layout.layout import DataLayout
+from repro.transforms.pad import multilvl_pad, pad
+from repro.util.tabulate import format_table
+
+__all__ = ["run", "TimingResult"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Best-of-N wall-clock seconds per program and layout version."""
+
+    # program -> {"orig": s, "L1 Opt": s, "L1&L2 Opt": s}
+    seconds: dict[str, dict[str, float]]
+
+    def improvement_pct(self, program: str, version: str) -> float:
+        """Speedup of a version over the original layout, in percent."""
+        base = self.seconds[program]["orig"]
+        return 100.0 * (base - self.seconds[program][version]) / base
+
+    def format(self) -> str:
+        """Render the wall-clock table."""
+        rows = []
+        for prog, t in self.seconds.items():
+            rows.append(
+                [
+                    prog,
+                    t["orig"],
+                    t["L1 Opt"],
+                    t["L1&L2 Opt"],
+                    self.improvement_pct(prog, "L1 Opt"),
+                    self.improvement_pct(prog, "L1&L2 Opt"),
+                ]
+            )
+        return format_table(
+            ["program", "orig (s)", "L1 Opt (s)", "L1&L2 (s)",
+             "improv% L1", "improv% L1&L2"],
+            rows,
+            floatfmt=".4f",
+            title="Wall-clock sanity check (NumPy on padded pools)",
+        )
+
+
+def _time_repeats(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(
+    quick: bool = False,
+    hierarchy: HierarchyConfig | None = None,
+    repeats: int = 3,
+) -> TimingResult:
+    """Time DOT and JACOBI under orig / PAD / MULTILVLPAD layouts."""
+    hierarchy = hierarchy or ultrasparc_i()
+    seconds: dict[str, dict[str, float]] = {}
+
+    n_dot = 16384 if quick else 65536
+    prog = dot_kernel.build(n_dot)
+    layouts = {
+        "orig": DataLayout.sequential(prog),
+        "L1 Opt": pad(prog, DataLayout.sequential(prog),
+                      hierarchy.l1.size, hierarchy.l1.line_size),
+        "L1&L2 Opt": multilvl_pad(prog, DataLayout.sequential(prog), hierarchy),
+    }
+    seconds["dot"] = {}
+    inner = 20 if quick else 200
+    for version, layout in layouts.items():
+        arrays = allocate_pool(prog, layout, fill=1.0)
+        x, z = arrays["X"], arrays["Z"]
+        seconds["dot"][version] = _time_repeats(
+            lambda: run_dot(x, z, repeats=inner), repeats
+        )
+
+    n_jac = 192 if quick else 512
+    prog = jacobi_kernel.build(n_jac)
+    layouts = {
+        "orig": DataLayout.sequential(prog),
+        "L1 Opt": pad(prog, DataLayout.sequential(prog),
+                      hierarchy.l1.size, hierarchy.l1.line_size),
+        "L1&L2 Opt": multilvl_pad(prog, DataLayout.sequential(prog), hierarchy),
+    }
+    seconds["jacobi"] = {}
+    steps = 3 if quick else 10
+    for version, layout in layouts.items():
+        arrays = allocate_pool(prog, layout, fill=1.0)
+        a, b = arrays["A"], arrays["B"]
+        seconds["jacobi"][version] = _time_repeats(
+            lambda: run_jacobi(a, b, steps=steps), repeats
+        )
+    return TimingResult(seconds=seconds)

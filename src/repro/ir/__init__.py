@@ -1,0 +1,29 @@
+"""Loop-nest intermediate representation.
+
+A tiny "mini-Fortran" IR sufficient to express the paper's programs:
+column-major arrays, perfect loop nests with affine bounds, and statements
+whose operands are array references with affine subscripts.  The IR is the
+object that every transformation in :mod:`repro.transforms` rewrites, that
+:mod:`repro.analysis` reasons about, and that :mod:`repro.trace` lowers to
+address traces for the cache simulator.
+"""
+
+from repro.ir.affine import AffineExpr, const, var
+from repro.ir.arrays import ArrayDecl
+from repro.ir.refs import ArrayRef
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program
+from repro.ir.builder import ProgramBuilder
+
+__all__ = [
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "Program",
+    "ProgramBuilder",
+    "var",
+    "const",
+]

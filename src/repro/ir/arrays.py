@@ -1,0 +1,96 @@
+"""Array declarations with Fortran (column-major, 1-based) semantics.
+
+The paper's programs are Fortran, so arrays here are column-major: the
+*first* subscript is the fastest-varying in memory, and the "column size"
+(first-dimension extent times the element size) is the quantity all the
+padding arguments are phrased in.  Subscripts are 1-based as in Fortran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+
+__all__ = ["ArrayDecl"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of one array variable.
+
+    Parameters
+    ----------
+    name:
+        Variable name, unique within a program.
+    shape:
+        Extent of each dimension, first dimension contiguous (column-major).
+    element_size:
+        Bytes per element; 8 for REAL*8 (the default), 4 for REAL*4.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("array name must be non-empty")
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if not self.shape:
+            raise IRError(f"array {self.name}: needs at least one dimension")
+        if any(s <= 0 for s in self.shape):
+            raise IRError(f"array {self.name}: non-positive extent in {self.shape}")
+        if self.element_size <= 0:
+            raise IRError(f"array {self.name}: element_size must be positive")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.element_size
+
+    @property
+    def strides_bytes(self) -> tuple[int, ...]:
+        """Column-major byte stride of each dimension."""
+        strides = []
+        s = self.element_size
+        for extent in self.shape:
+            strides.append(s)
+            s *= extent
+        return tuple(strides)
+
+    @property
+    def column_size_bytes(self) -> int:
+        """Bytes in one column (first-dimension extent * element size).
+
+        For a 1-D array this is simply the whole array.  This is the
+        quantity the paper compares against cache sizes throughout
+        Section 3 ("the cache size is slightly more than double the common
+        column size").
+        """
+        return self.shape[0] * self.element_size
+
+    def element_offset(self, subscripts: tuple[int, ...]) -> int:
+        """Byte offset of a concrete (1-based) subscript tuple from the base."""
+        if len(subscripts) != self.rank:
+            raise IRError(
+                f"array {self.name} has rank {self.rank}, got {len(subscripts)} subscripts"
+            )
+        off = 0
+        for idx, extent, stride in zip(subscripts, self.shape, self.strides_bytes):
+            if not (1 <= idx <= extent):
+                raise IRError(
+                    f"array {self.name}: subscript {idx} out of bounds 1..{extent}"
+                )
+            off += (idx - 1) * stride
+        return off

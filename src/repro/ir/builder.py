@@ -1,0 +1,128 @@
+"""A small DSL for constructing IR programs readably.
+
+Example -- the paper's Figure 2 program::
+
+    b = ProgramBuilder("fig2", n=64)
+    A, B, C = (b.array(x, (64, 64)) for x in "ABC")
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 2, 63), b.loop(i, 1, 64)],
+        [
+            b.assign(A[i, j], reads=[A[i, j + 1]], flops=1),
+            b.assign(B[i, j], reads=[B[i, j + 1]], flops=1),
+            b.assign(C[i, j], reads=[C[i, j + 1]], flops=1),
+        ],
+    )
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr, var
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+
+__all__ = ["ArrayHandle", "ProgramBuilder"]
+
+Subscript = Union[AffineExpr, int]
+
+
+class ArrayHandle:
+    """Indexing sugar: ``A[i, j+1]`` builds an :class:`ArrayRef` (a read)."""
+
+    def __init__(self, decl: ArrayDecl):
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def __getitem__(self, subscripts) -> ArrayRef:
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        if len(subscripts) != self.decl.rank:
+            raise IRError(
+                f"array {self.name} has rank {self.decl.rank}, "
+                f"got {len(subscripts)} subscripts"
+            )
+        return ArrayRef(
+            self.name, tuple(AffineExpr.wrap(s) for s in subscripts), is_write=False
+        )
+
+    def __repr__(self) -> str:
+        return f"ArrayHandle({self.decl!r})"
+
+
+class ProgramBuilder:
+    """Accumulates arrays and nests, then :meth:`build`\\ s a :class:`Program`."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._arrays: list[ArrayDecl] = []
+        self._nests: list[LoopNest] = []
+
+    # -- declarations -------------------------------------------------------
+    def array(
+        self, name: str, shape: Sequence[int], element_size: int = 8
+    ) -> ArrayHandle:
+        """Declare a column-major array and return an indexable handle."""
+        decl = ArrayDecl(name, tuple(shape), element_size)
+        if any(a.name == name for a in self._arrays):
+            raise IRError(f"array {name!r} already declared")
+        self._arrays.append(decl)
+        return ArrayHandle(decl)
+
+    @staticmethod
+    def vars(*names: str) -> tuple[AffineExpr, ...]:
+        """Fresh loop-variable expressions: ``i, j = b.vars("i", "j")``."""
+        return tuple(var(n) for n in names)
+
+    # -- statements -----------------------------------------------------------
+    @staticmethod
+    def assign(
+        target: ArrayRef,
+        reads: Iterable[ArrayRef] = (),
+        flops: int = 0,
+        label: str = "",
+    ) -> Statement:
+        """``target = f(reads...)``: reads in order, then the store."""
+        w = ArrayRef(target.array, target.subscripts, is_write=True)
+        return Statement(tuple(reads) + (w,), flops=flops, label=label)
+
+    @staticmethod
+    def use(reads: Iterable[ArrayRef], flops: int = 0, label: str = "") -> Statement:
+        """A statement with loads only (e.g. reduction into a scalar)."""
+        return Statement(tuple(reads), flops=flops, label=label)
+
+    # -- loops ----------------------------------------------------------------
+    @staticmethod
+    def loop(index: Union[AffineExpr, str], lower, upper, step: int = 1) -> Loop:
+        """``do index = lower, upper, step``; index may be a var() or name."""
+        if isinstance(index, AffineExpr):
+            names = index.variables
+            if len(names) != 1 or index.coeff(names[0]) != 1 or index.constant != 0:
+                raise IRError(f"loop index must be a bare variable, got {index!r}")
+            name = names[0]
+        else:
+            name = index
+        return Loop(name, AffineExpr.wrap(lower), AffineExpr.wrap(upper), step)
+
+    def nest(
+        self,
+        loops: Sequence[Loop],
+        body: Sequence[Statement],
+        label: str = "",
+    ) -> LoopNest:
+        """Append a perfect nest (outermost loop first) to the program."""
+        n = LoopNest(tuple(loops), tuple(body), label or f"nest{len(self._nests)}")
+        self._nests.append(n)
+        return n
+
+    # -- finish -----------------------------------------------------------------
+    def build(self) -> Program:
+        return Program(self._name, tuple(self._arrays), tuple(self._nests))

@@ -1,0 +1,84 @@
+"""Fortran-style pretty printing of IR programs.
+
+Renders a :class:`~repro.ir.program.Program` as DO-loop pseudocode close
+to the paper's figures, for documentation, debugging, and golden tests::
+
+    real A(512,512), B(512,512)
+    do j = 2, 511
+      do i = 2, 511
+        A(i,j) = f(B(i-1,j), B(i+1,j), B(i,j-1), B(i,j+1))   ! 4 flops
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+
+__all__ = ["format_program", "format_nest"]
+
+
+def _expr(e: AffineExpr) -> str:
+    return repr(e)
+
+
+def _ref(r: ArrayRef) -> str:
+    return f"{r.array}({','.join(_expr(s) for s in r.subscripts)})"
+
+
+def _loop_header(lp: Loop) -> str:
+    lower = _expr(lp.lower)
+    if lp.extra_lowers:
+        lower = "max(" + ", ".join(
+            _expr(b) for b in lp.lowers
+        ) + ")"
+    upper = _expr(lp.upper)
+    if lp.extra_uppers:
+        upper = "min(" + ", ".join(
+            _expr(b) for b in lp.uppers
+        ) + ")"
+    step = f", {lp.step}" if lp.step != 1 else ""
+    return f"do {lp.var} = {lower}, {upper}{step}"
+
+
+def _statement(st: Statement) -> str:
+    write = st.write
+    reads = ", ".join(_ref(r) for r in st.reads)
+    if write is not None:
+        body = f"{_ref(write)} = f({reads})" if reads else f"{_ref(write)} = ..."
+    else:
+        body = f"... = f({reads})"
+    note = []
+    if st.flops:
+        note.append(f"{st.flops} flops")
+    if st.label:
+        note.append(st.label)
+    return body + (f"   ! {', '.join(note)}" if note else "")
+
+
+def format_nest(nest: LoopNest, indent: str = "") -> str:
+    """One nest as indented DO loops."""
+    lines = []
+    pad = indent
+    for lp in nest.loops:
+        lines.append(pad + _loop_header(lp))
+        pad += "  "
+    for st in nest.body:
+        lines.append(pad + _statement(st))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Whole program: declarations then nests, separated by blank lines."""
+    decls = []
+    for a in program.arrays:
+        dims = ",".join(str(s) for s in a.shape)
+        kind = "real" if a.element_size == 8 else f"integer*{a.element_size}"
+        decls.append(f"{kind} {a.name}({dims})")
+    blocks = ["\n".join(decls)]
+    for nest in program.nests:
+        header = f"! {nest.label}" if nest.label else ""
+        body = format_nest(nest)
+        blocks.append((header + "\n" + body) if header else body)
+    return "\n\n".join(blocks)

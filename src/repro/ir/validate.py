@@ -1,0 +1,103 @@
+"""Static program validation.
+
+Checks an IR program without generating a single address:
+
+* **subscript bounds** -- every reference's per-dimension subscript range
+  (by interval analysis over the loop ranges) must stay within the
+  declaration; catches off-by-one stencil bounds at build time instead of
+  deep inside a 20-million-reference trace;
+* **dead arrays** -- declared but never referenced (usually a kernel
+  modeling mistake);
+* **write-only arrays** -- stored to but never read anywhere (legal, but
+  worth a warning: the paper's programs always consume what they produce
+  somewhere);
+* **empty loops** -- a nest whose static trip count is zero.
+
+``validate_program`` returns the findings; ``check_program`` raises on
+errors (bounds violations) and ignores warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.program import Program
+from repro.ir.ranges import affine_interval, loop_var_ranges
+
+__all__ = ["Finding", "validate_program", "check_program"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation result."""
+
+    severity: str  # "error" | "warning"
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.where}: {self.message}"
+
+
+def validate_program(program: Program) -> list[Finding]:
+    """All findings for the program, errors first."""
+    findings: list[Finding] = []
+
+    referenced: set[str] = set()
+    read: set[str] = set()
+
+    for nest in program.nests:
+        where = f"{program.name}/{nest.label or nest.loop_vars}"
+        try:
+            ranges = loop_var_ranges(nest)
+        except IRError as exc:
+            findings.append(Finding("error", where, f"unrangeable bounds: {exc}"))
+            continue
+        if nest.is_rectangular and nest.iterations() == 0:
+            findings.append(Finding("warning", where, "loop nest never executes"))
+        for st in nest.body:
+            for ref in st.refs:
+                referenced.add(ref.array)
+                if not ref.is_write:
+                    read.add(ref.array)
+                decl = program.decl(ref.array)
+                for dim, (sub, extent) in enumerate(
+                    zip(ref.subscripts, decl.shape)
+                ):
+                    lo, hi = affine_interval(sub, ranges)
+                    if lo < 1 or hi > extent:
+                        findings.append(
+                            Finding(
+                                "error",
+                                where,
+                                f"{ref!r} dim {dim + 1} spans {lo}..{hi}, "
+                                f"declared 1..{extent}",
+                            )
+                        )
+
+    for decl in program.arrays:
+        if decl.name not in referenced:
+            findings.append(
+                Finding("warning", program.name, f"array {decl.name} is never referenced")
+            )
+        elif decl.name not in read:
+            findings.append(
+                Finding(
+                    "warning",
+                    program.name,
+                    f"array {decl.name} is written but never read",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.severity != "error", f.where))
+    return findings
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`IRError` listing every bounds error (warnings pass)."""
+    errors = [f for f in validate_program(program) if f.severity == "error"]
+    if errors:
+        raise IRError(
+            "program validation failed:\n" + "\n".join(str(f) for f in errors)
+        )

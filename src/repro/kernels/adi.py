@@ -1,0 +1,55 @@
+"""ADI32: 2-D ADI integration fragment (Livermore loop 8), Table 1.
+
+Alternating-direction-implicit sweeps over 3-D arrays of extent ``n``
+(default 32, so each array is 32 KB = twice the 16 KB L1 cache, making all
+base addresses coincide on the cache).  The ``k``/``k-1`` plane references
+are 8 KB apart -- and ``k``/``k-2`` references a full 16 KB apart, the
+intra-variable severe conflict that Section 6.1 removes with column
+padding before running PAD.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build"]
+
+DEFAULT_N = 32
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """ADI integration over three (n, n, n) arrays: two directional sweeps."""
+    b = ProgramBuilder(f"adi{n}")
+    U = b.array("U", (n, n, n))
+    A = b.array("A", (n, n, n))
+    Bc = b.array("B", (n, n, n))
+    i, j, k = b.vars("i", "j", "k")
+
+    # Sweep along k (third dimension): solve tridiagonal systems forward.
+    b.nest(
+        [b.loop(k, 3, n), b.loop(j, 1, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                U[i, j, k],
+                reads=[U[i, j, k - 1], U[i, j, k - 2], A[i, j, k], Bc[i, j, k]],
+                flops=4,
+                label="k-sweep",
+            )
+        ],
+        label="adi-k-forward",
+    )
+    # Sweep along j (second dimension).
+    b.nest(
+        [b.loop(k, 1, n), b.loop(j, 3, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                U[i, j, k],
+                reads=[U[i, j - 1, k], U[i, j - 2, k], A[i, j, k], Bc[i, j, k]],
+                flops=4,
+                label="j-sweep",
+            )
+        ],
+        label="adi-j-forward",
+    )
+    return b.build()

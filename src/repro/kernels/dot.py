@@ -1,0 +1,33 @@
+"""DOT: vector dot product (Livermore loop 3), Table 1.
+
+``q += Z(k) * X(k)`` over two vectors.  At the default length of 65536
+elements each vector is 512 KB: an exact multiple of both the 16 KB L1 and
+the 512 KB L2 cache, so the two vectors' corresponding elements map to the
+same line at both levels and ping-pong on every iteration until padded.
+(This is the program whose Figure 9 improvement the paper attributes
+partly to the memory system's handling of outstanding misses once the
+vectors are padded apart by the 64-byte L2 line.)
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build"]
+
+DEFAULT_N = 65536
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Dot product of two length-``n`` vectors (reads only: scalar result)."""
+    b = ProgramBuilder(f"dot{n * 8 // 1024}")
+    X = b.array("X", (n,))
+    Z = b.array("Z", (n,))
+    (k,) = b.vars("k")
+    b.nest(
+        [b.loop(k, 1, n)],
+        [b.use(reads=[Z[k], X[k]], flops=2, label="dot")],
+        label="dot-product",
+    )
+    return b.build()

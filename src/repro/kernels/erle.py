@@ -1,0 +1,64 @@
+"""ERLE64: 3-D tridiagonal solver, Table 1.
+
+Sweeps of a tridiagonal (Thomas-algorithm-style) solve along each
+dimension of 64^3 arrays.  Each array is 2 MB; a (j, k) plane is 32 KB --
+an exact multiple of the 16 KB L1 cache -- so ``k``/``k-1`` plane
+references to the *same* array collide severely: the second program that
+needs intra-variable padding before PAD (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build"]
+
+DEFAULT_N = 64
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Forward elimination + back substitution along k, then a j sweep."""
+    b = ProgramBuilder(f"erle{n}")
+    X = b.array("X", (n, n, n))
+    A = b.array("A", (n, n, n))
+    C = b.array("C", (n, n, n))
+    i, j, k = b.vars("i", "j", "k")
+
+    b.nest(
+        [b.loop(k, 2, n), b.loop(j, 1, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                X[i, j, k],
+                reads=[X[i, j, k - 1], A[i, j, k], C[i, j, k]],
+                flops=3,
+                label="forward",
+            )
+        ],
+        label="erle-forward-k",
+    )
+    b.nest(
+        [b.loop(k, 2, n), b.loop(j, 1, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                X[i, j, n + 1 - k],
+                reads=[X[i, j, n + 2 - k], C[i, j, n + 1 - k]],
+                flops=2,
+                label="backward",
+            )
+        ],
+        label="erle-backward-k",
+    )
+    b.nest(
+        [b.loop(k, 1, n), b.loop(j, 2, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                X[i, j, k],
+                reads=[X[i, j - 1, k], A[i, j, k]],
+                flops=2,
+                label="j-sweep",
+            )
+        ],
+        label="erle-forward-j",
+    )
+    return b.build()

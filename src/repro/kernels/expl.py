@@ -1,0 +1,114 @@
+"""EXPL: 2-D explicit hydrodynamics (Livermore loop 18), Table 1.
+
+The paper's most padding-sensitive program: nine (n, n) arrays (ZA, ZB,
+ZM, ZP, ZQ, ZR, ZU, ZV, ZZ) traversed by three sweeps with +-1 offsets in
+both dimensions, modeled directly on the Livermore kernel.  At n = 512
+each array is 2 MB -- a multiple of both cache sizes, so all nine base
+addresses coincide on both caches until padded -- and a column is n*8
+bytes, so the 16 KB L1 holds only 16384/(8n) columns: exactly the
+capacity battle Figures 10-12 study over n = 250..700.
+
+``FUSABLE_NESTS`` names the adjacent pair the Figure 12 fusion experiment
+merges (the ZU/ZV update and the ZR/ZZ time-advance share four arrays,
+so fusion converts leading references into same-iteration re-touches).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build", "FUSABLE_NESTS"]
+
+DEFAULT_N = 512
+
+# (index of first nest, index of second nest) to fuse in Figure 12: the
+# pressure and velocity sweeps share ZA, ZB and ZR, so fusion saves their
+# leading references (3 memory references per iteration) while the fused
+# body's eight column-arcs compete for an L1 cache that holds only
+# 16384/(8n) columns -- the tradeoff Figure 12 plots.
+FUSABLE_NESTS = (0, 1)
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Livermore 18 over nine (n, n) arrays; loops k outer, j inner."""
+    b = ProgramBuilder(f"expl{n}")
+    za = b.array("ZA", (n, n))
+    zb = b.array("ZB", (n, n))
+    zm = b.array("ZM", (n, n))
+    zp = b.array("ZP", (n, n))
+    zq = b.array("ZQ", (n, n))
+    zr = b.array("ZR", (n, n))
+    zu = b.array("ZU", (n, n))
+    zv = b.array("ZV", (n, n))
+    zz = b.array("ZZ", (n, n))
+    j, k = b.vars("j", "k")
+    loops = lambda: [b.loop(k, 2, n - 1), b.loop(j, 2, n - 1)]  # noqa: E731
+
+    b.nest(
+        loops(),
+        [
+            b.assign(
+                za[j, k],
+                reads=[
+                    zp[j - 1, k + 1], zq[j - 1, k + 1],
+                    zp[j - 1, k], zq[j - 1, k],
+                    zr[j, k], zr[j - 1, k],
+                    zm[j - 1, k], zm[j - 1, k + 1],
+                ],
+                flops=9,
+                label="za",
+            ),
+            b.assign(
+                zb[j, k],
+                reads=[
+                    zp[j - 1, k], zq[j - 1, k],
+                    zp[j, k], zq[j, k],
+                    zr[j, k], zr[j, k - 1],
+                    zm[j, k], zm[j - 1, k],
+                ],
+                flops=9,
+                label="zb",
+            ),
+        ],
+        label="expl-pressure",
+    )
+    b.nest(
+        loops(),
+        [
+            b.assign(
+                zu[j, k],
+                reads=[
+                    zu[j, k],
+                    za[j, k], zz[j, k], zz[j + 1, k],
+                    za[j - 1, k], zz[j - 1, k],
+                    zb[j, k], zz[j, k - 1],
+                    zb[j, k + 1], zz[j, k + 1],
+                ],
+                flops=16,
+                label="zu",
+            ),
+            b.assign(
+                zv[j, k],
+                reads=[
+                    zv[j, k],
+                    za[j, k], zr[j, k], zr[j + 1, k],
+                    za[j - 1, k], zr[j - 1, k],
+                    zb[j, k], zr[j, k - 1],
+                    zb[j, k + 1], zr[j, k + 1],
+                ],
+                flops=16,
+                label="zv",
+            ),
+        ],
+        label="expl-velocity",
+    )
+    b.nest(
+        loops(),
+        [
+            b.assign(zr[j, k], reads=[zr[j, k], zu[j, k]], flops=2, label="zr"),
+            b.assign(zz[j, k], reads=[zz[j, k], zv[j, k]], flops=2, label="zz"),
+        ],
+        label="expl-advance",
+    )
+    return b.build()

@@ -1,0 +1,45 @@
+"""JACOBI512: 2-D Jacobi relaxation with convergence test, Table 1.
+
+Two (n, n) arrays: the five-point stencil writes A from B, then a second
+sweep copies back and accumulates the convergence residual.  At n = 512
+both arrays are 2 MB, so A and B coincide on both caches until padded --
+the canonical inter-variable ping-pong case.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build"]
+
+DEFAULT_N = 512
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Five-point stencil sweep + convergence/copy-back over (n, n) grids."""
+    b = ProgramBuilder(f"jacobi{n}")
+    A = b.array("A", (n, n))
+    Bb = b.array("B", (n, n))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        [
+            b.assign(
+                A[i, j],
+                reads=[Bb[i - 1, j], Bb[i + 1, j], Bb[i, j - 1], Bb[i, j + 1]],
+                flops=4,
+                label="stencil",
+            )
+        ],
+        label="jacobi-sweep",
+    )
+    b.nest(
+        [b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        [
+            b.use(reads=[A[i, j], Bb[i, j]], flops=2, label="residual"),
+            b.assign(Bb[i, j], reads=[A[i, j]], flops=0, label="copy-back"),
+        ],
+        label="jacobi-converge",
+    )
+    return b.build()

@@ -1,0 +1,53 @@
+"""Matrix multiplication, the tiling study's workload (Section 5, Fig 8/13).
+
+``C(I,J) += A(I,K) * B(K,J)`` with loops J, K, I (I innermost: unit stride
+for C and A).  :func:`build_tiled` reproduces Figure 8 exactly: K tiled by
+width W, I tiled by height H, tile loops outermost, so ``A(I,K)`` touches
+one W x H tile per J iteration.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.ir.builder import ProgramBuilder
+from repro.transforms.tiling import tile_nest
+
+__all__ = ["build", "build_tiled"]
+
+DEFAULT_N = 256
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Untiled NxN matrix multiply (J, K, I loop order)."""
+    b = ProgramBuilder(f"matmul{n}")
+    A = b.array("A", (n, n))
+    Bm = b.array("B", (n, n))
+    C = b.array("C", (n, n))
+    i, j, k = b.vars("i", "j", "k")
+    b.nest(
+        [b.loop(j, 1, n), b.loop(k, 1, n), b.loop(i, 1, n)],
+        [
+            b.assign(
+                C[i, j], reads=[C[i, j], A[i, k], B_ref(Bm, k, j)],
+                flops=2, label="fma",
+            )
+        ],
+        label="matmul",
+    )
+    return b.build()
+
+
+def B_ref(handle, k, j):
+    """B(K,J) -- isolated so the reference reads like the Fortran source."""
+    return handle[k, j]
+
+
+def build_tiled(n: int, tile_w: int, tile_h: int) -> Program:
+    """Figure 8: ``do KK,W / do II,H / do J / do K / do I`` tiled multiply."""
+    prog = build(n)
+    tiled = tile_nest(
+        prog.nests[0],
+        tiles=[("k", tile_w), ("i", tile_h)],
+        order=["kk", "ii", "j", "k", "i"],
+    )
+    return prog.with_nests([tiled]).renamed(f"matmul{n}_t{tile_w}x{tile_h}")

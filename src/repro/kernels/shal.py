@@ -1,0 +1,124 @@
+"""SHAL: shallow water model, Table 1 (the SWIM benchmark's ancestor).
+
+Thirteen (n, n) arrays over three sweeps per step: flux computation
+(CU/CV/Z/H), the new-value update (UNEW/VNEW/PNEW reading the fluxes with
++1 offsets in both dimensions), and time smoothing.  This is the richest
+group-reuse program in the suite -- nearly every array carries an arc of
+one column -- and with n = 512 every array is 2 MB, resonant on both
+caches.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["build"]
+
+DEFAULT_N = 512
+
+
+def build(n: int = DEFAULT_N) -> Program:
+    """Shallow-water step: fluxes, update, time smoothing (13 arrays)."""
+    b = ProgramBuilder(f"shal{n}")
+    U = b.array("U", (n, n))
+    V = b.array("V", (n, n))
+    P = b.array("P", (n, n))
+    UNEW = b.array("UNEW", (n, n))
+    VNEW = b.array("VNEW", (n, n))
+    PNEW = b.array("PNEW", (n, n))
+    UOLD = b.array("UOLD", (n, n))
+    VOLD = b.array("VOLD", (n, n))
+    POLD = b.array("POLD", (n, n))
+    CU = b.array("CU", (n, n))
+    CV = b.array("CV", (n, n))
+    Z = b.array("Z", (n, n))
+    H = b.array("H", (n, n))
+    i, j = b.vars("i", "j")
+    loops = lambda: [b.loop(j, 1, n - 1), b.loop(i, 1, n - 1)]  # noqa: E731
+
+    b.nest(
+        loops(),
+        [
+            b.assign(
+                CU[i + 1, j], reads=[P[i + 1, j], P[i, j], U[i + 1, j]],
+                flops=3, label="cu",
+            ),
+            b.assign(
+                CV[i, j + 1], reads=[P[i, j + 1], P[i, j], V[i, j + 1]],
+                flops=3, label="cv",
+            ),
+            b.assign(
+                Z[i + 1, j + 1],
+                reads=[
+                    V[i + 1, j + 1], V[i, j + 1], U[i + 1, j + 1], U[i + 1, j],
+                    P[i, j], P[i + 1, j], P[i, j + 1], P[i + 1, j + 1],
+                ],
+                flops=9, label="z",
+            ),
+            b.assign(
+                H[i, j],
+                reads=[
+                    P[i, j], U[i + 1, j], U[i, j], V[i, j + 1], V[i, j],
+                ],
+                flops=7, label="h",
+            ),
+        ],
+        label="shal-fluxes",
+    )
+    b.nest(
+        loops(),
+        [
+            b.assign(
+                UNEW[i + 1, j],
+                reads=[
+                    UOLD[i + 1, j],
+                    Z[i + 1, j + 1], Z[i + 1, j],
+                    CV[i + 1, j + 1], CV[i, j + 1], CV[i, j], CV[i + 1, j],
+                    H[i + 1, j], H[i, j],
+                ],
+                flops=10, label="unew",
+            ),
+            b.assign(
+                VNEW[i, j + 1],
+                reads=[
+                    VOLD[i, j + 1],
+                    Z[i + 1, j + 1], Z[i, j + 1],
+                    CU[i + 1, j + 1], CU[i, j + 1], CU[i, j], CU[i + 1, j],
+                    H[i, j + 1], H[i, j],
+                ],
+                flops=10, label="vnew",
+            ),
+            b.assign(
+                PNEW[i, j],
+                reads=[
+                    POLD[i, j],
+                    CU[i + 1, j], CU[i, j], CV[i, j + 1], CV[i, j],
+                ],
+                flops=5, label="pnew",
+            ),
+        ],
+        label="shal-update",
+    )
+    b.nest(
+        loops(),
+        [
+            b.assign(
+                UOLD[i, j], reads=[U[i, j], UNEW[i, j], UOLD[i, j]],
+                flops=4, label="uold",
+            ),
+            b.assign(
+                VOLD[i, j], reads=[V[i, j], VNEW[i, j], VOLD[i, j]],
+                flops=4, label="vold",
+            ),
+            b.assign(
+                POLD[i, j], reads=[P[i, j], PNEW[i, j], POLD[i, j]],
+                flops=4, label="pold",
+            ),
+            b.assign(U[i, j], reads=[UNEW[i, j]], flops=0, label="u"),
+            b.assign(V[i, j], reads=[VNEW[i, j]], flops=0, label="v"),
+            b.assign(P[i, j], reads=[PNEW[i, j]], flops=0, label="p"),
+        ],
+        label="shal-smooth",
+    )
+    return b.build()

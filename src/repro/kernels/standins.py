@@ -1,0 +1,273 @@
+"""Synthetic stand-ins for the NAS and SPEC95 applications of Table 1.
+
+The real applications are thousands of lines of Fortran we cannot ship;
+what the paper's padding experiments exercise is each program's
+*array-conflict structure*: how many same-sized column-major arrays are
+traversed together, with what column offsets, and whether the array sizes
+are resonant with the cache sizes (base addresses coinciding modulo 16 KB
+/ 512 KB).  Each stand-in reproduces that structure at a representative
+problem size -- resonant sizes for the programs Figure 9 shows improving
+(applu, appsp, su2cor, turb3d, mgrid, fftpde, hydro2d), non-resonant ones
+for the programs that do not (buk, cgm, embar, apsi, fpppp, wave5).
+See DESIGN.md, Substitutions.
+
+``swim`` and ``tomcatv`` get fuller models (multiple sweeps, several
+same-array column arcs) because Figure 10's GROUPPAD study depends on
+their group-reuse structure.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.kernels import shal as _shal
+
+__all__ = [
+    "build_appbt", "build_applu", "build_appsp", "build_buk", "build_cgm",
+    "build_embar", "build_fftpde", "build_mgrid",
+    "build_apsi", "build_fpppp", "build_hydro2d", "build_su2cor",
+    "build_swim", "build_tomcatv", "build_turb3d", "build_wave5",
+]
+
+
+def _stencil_program(
+    name: str,
+    n: int,
+    array_names: list[str],
+    nests: int = 2,
+    column_arc: bool = True,
+) -> Program:
+    """A generic multi-array 2-D sweep: each statement writes one array
+    from its neighbours in the list, with a same-array column arc when
+    ``column_arc`` (the group-reuse carrier GROUPPAD works on)."""
+    b = ProgramBuilder(name)
+    handles = [b.array(a, (n, n)) for a in array_names]
+    i, j = b.vars("i", "j")
+    for nest_idx in range(nests):
+        stmts = []
+        for s, h in enumerate(handles):
+            src = handles[(s + 1 + nest_idx) % len(handles)]
+            reads = [src[i, j]]
+            if column_arc:
+                reads.append(h[i, j + 1])
+            stmts.append(b.assign(h[i, j], reads=reads, flops=2, label=h.name))
+        b.nest(
+            [b.loop(j, 2, n - 1), b.loop(i, 1, n)],
+            stmts,
+            label=f"{name}-sweep{nest_idx}",
+        )
+    return b.build()
+
+
+def _sweep3d_program(name: str, n: int, array_names: list[str]) -> Program:
+    """3-D seven-point-style sweep over (n, n, n) arrays."""
+    b = ProgramBuilder(name)
+    handles = [b.array(a, (n, n, n)) for a in array_names]
+    i, j, k = b.vars("i", "j", "k")
+    u, rest = handles[0], handles[1:]
+    reads = [u[i - 1, j, k], u[i + 1, j, k], u[i, j - 1, k], u[i, j + 1, k],
+             u[i, j, k - 1], u[i, j, k + 1]]
+    stmts = [b.assign(rest[0][i, j, k], reads=reads, flops=7, label="stencil")]
+    for h in rest[1:]:
+        stmts.append(
+            b.assign(h[i, j, k], reads=[u[i, j, k], h[i, j, k]], flops=2,
+                     label=h.name)
+        )
+    b.nest(
+        [b.loop(k, 2, n - 1), b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        stmts,
+        label=f"{name}-sweep",
+    )
+    return b.build()
+
+
+def _vector_program(name: str, n: int, array_names: list[str]) -> Program:
+    """1-D streaming vector operations (BLAS-1 style)."""
+    b = ProgramBuilder(name)
+    handles = [b.array(a, (n,)) for a in array_names]
+    (i,) = b.vars("i")
+    stmts = []
+    for s, h in enumerate(handles[:-1]):
+        stmts.append(
+            b.assign(
+                h[i], reads=[handles[s + 1][i], h[i]], flops=2, label=h.name
+            )
+        )
+    b.nest([b.loop(i, 1, n)], stmts, label=f"{name}-axpy")
+    return b.build()
+
+
+# ---------------------------------------------------------------- NAS ----
+
+def build_appbt(n: int = 160) -> Program:
+    """Block-tridiagonal PDE solver: five solution arrays, non-resonant n."""
+    return _stencil_program("appbt", n, ["U1", "U2", "U3", "U4", "U5"], nests=3)
+
+
+def build_applu(n: int = 192) -> Program:
+    """Parabolic/elliptic PDE solver: resonant n (192^2*8 = 18 L1 caches)."""
+    return _stencil_program("applu", n, ["U1", "U2", "U3", "U4", "U5"], nests=3)
+
+
+def build_appsp(n: int = 128) -> Program:
+    """Scalar-pentadiagonal solver: resonant n = 128."""
+    return _stencil_program("appsp", n, ["V1", "V2", "V3", "V4", "V5"], nests=3)
+
+
+def build_buk(n: int = 150_000) -> Program:
+    """Integer bucket sort: streaming int sweeps, nothing to pad."""
+    b = ProgramBuilder("buk")
+    key = b.array("KEY", (n,), element_size=4)
+    rank = b.array("RANK", (n,), element_size=4)
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.use(reads=[key[i]], flops=0, label="count")],
+           label="buk-count")
+    b.nest([b.loop(i, 1, n)],
+           [b.assign(rank[i], reads=[key[i]], flops=0, label="rank")],
+           label="buk-rank")
+    return b.build()
+
+
+def build_cgm(n: int = 15_000) -> Program:
+    """Sparse conjugate gradient: BLAS-1 vector core, non-resonant length."""
+    return _vector_program("cgm", n, ["X", "P", "Q", "R", "ZZ"])
+
+
+def build_embar(n: int = 60_000) -> Program:
+    """Monte Carlo: one streaming Gaussian-pairs buffer, conflict-free."""
+    return _vector_program("embar", n, ["XX", "QQ"])
+
+
+def build_fftpde(n: int = 64) -> Program:
+    """3-D FFT: butterfly strides of n/2 over resonant (n,n,n) re/im arrays."""
+    b = ProgramBuilder("fftpde")
+    re = b.array("RE", (n, n, n))
+    im = b.array("IM", (n, n, n))
+    i, j, k = b.vars("i", "j", "k")
+    h = n // 2
+    b.nest(
+        [b.loop(k, 1, n), b.loop(j, 1, n), b.loop(i, 1, h)],
+        [
+            b.assign(re[i, j, k], reads=[re[i, j, k], re[i + h, j, k],
+                                         im[i + h, j, k]], flops=4,
+                     label="bfly-re"),
+            b.assign(im[i, j, k], reads=[im[i, j, k], im[i + h, j, k],
+                                         re[i + h, j, k]], flops=4,
+                     label="bfly-im"),
+        ],
+        label="fft-dim1",
+    )
+    b.nest(
+        [b.loop(k, 1, n), b.loop(j, 1, h), b.loop(i, 1, n)],
+        [
+            b.assign(re[i, j, k], reads=[re[i, j, k], re[i, j + h, k],
+                                         im[i, j + h, k]], flops=4,
+                     label="bfly-re2"),
+            b.assign(im[i, j, k], reads=[im[i, j, k], im[i, j + h, k],
+                                         re[i, j + h, k]], flops=4,
+                     label="bfly-im2"),
+        ],
+        label="fft-dim2",
+    )
+    return b.build()
+
+
+def build_mgrid(n: int = 64) -> Program:
+    """Multigrid smoother: 3-D stencil over resonant 64^3 arrays."""
+    return _sweep3d_program("mgrid", n, ["U", "V", "R"])
+
+
+# --------------------------------------------------------------- SPEC ----
+
+def build_apsi(n: int = 111) -> Program:
+    """Air-pollution model: many arrays, deliberately non-resonant size."""
+    return _stencil_program(
+        "apsi", n, ["T", "Q", "W", "UX", "VY", "WZ"], nests=2
+    )
+
+
+def build_fpppp(n: int = 90) -> Program:
+    """Electron integrals: compute-bound, small working set, 1-D sweeps.
+
+    n = 90 keeps the F arrays off every cache-size residue (96 would put
+    F1 and F3 exactly one L1 cache apart) -- FPPPP is one of the paper's
+    nothing-to-fix programs.
+    """
+    return _vector_program("fpppp", n * n, ["F1", "F2", "F3"])
+
+
+def build_hydro2d(n: int = 256) -> Program:
+    """Navier-Stokes hydrodynamics: EXPL-like, resonant 256^2 arrays."""
+    return _stencil_program(
+        "hydro2d", n, ["RO", "EN", "MU", "MV", "ZP", "ZQ"], nests=3
+    )
+
+
+def build_su2cor(n: int = 256) -> Program:
+    """Quantum physics: 256^2*8 = 512 KB arrays, resonant on both caches."""
+    return _stencil_program("su2cor", n, ["G1", "G2", "G3", "G4"], nests=2)
+
+
+def build_swim(n: int = 513) -> Program:
+    """Vector shallow water: the SHAL structure at SPEC's grid size."""
+    return _shal.build(n).renamed("swim")
+
+
+def build_tomcatv(n: int = 513) -> Program:
+    """Mesh generation: X/Y coordinate meshes plus residual/workspace
+    arrays, with the j-1/j/j+1 column arcs GROUPPAD needs (Figure 10)."""
+    b = ProgramBuilder("tomcatv")
+    X = b.array("X", (n, n))
+    Y = b.array("Y", (n, n))
+    RX = b.array("RX", (n, n))
+    RY = b.array("RY", (n, n))
+    AA = b.array("AA", (n, n))
+    DD = b.array("DD", (n, n))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        [
+            b.assign(
+                RX[i, j],
+                reads=[X[i - 1, j], X[i + 1, j], X[i, j - 1], X[i, j + 1],
+                       X[i, j]],
+                flops=8, label="rx",
+            ),
+            b.assign(
+                RY[i, j],
+                reads=[Y[i - 1, j], Y[i + 1, j], Y[i, j - 1], Y[i, j + 1],
+                       Y[i, j]],
+                flops=8, label="ry",
+            ),
+            b.assign(
+                AA[i, j], reads=[X[i, j + 1], X[i, j - 1], Y[i, j + 1],
+                                 Y[i, j - 1]],
+                flops=4, label="aa",
+            ),
+            b.assign(
+                DD[i, j], reads=[AA[i, j], DD[i, j - 1]], flops=2, label="dd",
+            ),
+        ],
+        label="tomcatv-residual",
+    )
+    b.nest(
+        [b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        [
+            b.assign(X[i, j], reads=[X[i, j], RX[i, j], DD[i, j]], flops=2,
+                     label="x-add"),
+            b.assign(Y[i, j], reads=[Y[i, j], RY[i, j], DD[i, j]], flops=2,
+                     label="y-add"),
+        ],
+        label="tomcatv-update",
+    )
+    return b.build()
+
+
+def build_turb3d(n: int = 64) -> Program:
+    """Isotropic turbulence: resonant 64^3 velocity fields plus pressure."""
+    return _sweep3d_program("turb3d", n, ["VU", "VV", "VW", "PR"])
+
+
+def build_wave5(n: int = 123_456) -> Program:
+    """Maxwell's equations / particles: long 1-D field sweeps, non-resonant."""
+    return _vector_program("wave5", n, ["EX", "EY", "BZ", "PX"])

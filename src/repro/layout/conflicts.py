@@ -1,0 +1,160 @@
+"""Severe (ping-pong) conflict detection between array references.
+
+Two references conflict severely on a direct-mapped cache when they map
+within one cache line of each other, so they evict each other on every
+iteration (paper Section 3).  For uniformly generated reference pairs the
+cache distance is iteration-invariant, so the test is exact modular
+arithmetic; for pairs whose address difference varies across iterations we
+fall back to a conservative interval test (does any iteration bring them
+within a line, modulo the cache size?).
+
+Only the *constant-delta* conflicts are fixable by inter-variable padding;
+the report keeps the two kinds separate so PAD does not chase conflicts it
+cannot eliminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program
+from repro.ir.ranges import affine_interval, loop_var_ranges
+from repro.ir.refs import ArrayRef
+from repro.layout.layout import DataLayout
+from repro.util.mathutil import circular_distance
+
+__all__ = [
+    "ConflictReport",
+    "delta_interval",
+    "interval_conflicts_with_cache",
+    "nest_severe_conflicts",
+    "program_severe_conflicts",
+]
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """One severely conflicting reference pair inside one nest."""
+
+    nest_label: str
+    ref_a: ArrayRef
+    ref_b: ArrayRef
+    fixable: bool  # constant address delta => padding can separate them
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """All severe conflicts found for a (program, layout, cache) triple."""
+
+    cache_size: int
+    line_size: int
+    pairs: tuple[ConflictPair, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def fixable(self) -> tuple[ConflictPair, ...]:
+        return tuple(p for p in self.pairs if p.fixable)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.pairs
+
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+
+def delta_interval(
+    program: Program,
+    layout: DataLayout,
+    nest: LoopNest,
+    ref_a: ArrayRef,
+    ref_b: ArrayRef,
+) -> tuple[int, int]:
+    """(min, max) of ``address(ref_a) - address(ref_b)`` over the nest."""
+    expr = (
+        ref_a.offset_expr(program.decl(ref_a.array))
+        - ref_b.offset_expr(program.decl(ref_b.array))
+        + (layout.base(ref_a.array) - layout.base(ref_b.array))
+    )
+    return affine_interval(expr, loop_var_ranges(nest))
+
+
+def interval_conflicts_with_cache(
+    dmin: int, dmax: int, cache_size: int, line_size: int
+) -> bool:
+    """Does some delta in [dmin, dmax] land within a line of a cache-size multiple?
+
+    Exact for constant deltas (dmin == dmax); conservative otherwise
+    (assumes the delta can take any value in the interval).
+    """
+    if dmin == dmax:
+        return circular_distance(dmin % cache_size, 0, cache_size) < line_size
+    # A conflict exists iff [dmin-(L-1), dmax+(L-1)] contains k*C.
+    lo = dmin - (line_size - 1)
+    hi = dmax + (line_size - 1)
+    return hi // cache_size >= -((-lo) // cache_size)
+
+
+def _unique_refs(nest: LoopNest) -> list[ArrayRef]:
+    seen: list[ArrayRef] = []
+    for r in nest.refs:
+        key = ArrayRef(r.array, r.subscripts, is_write=False)
+        if not any(u.array == key.array and u.subscripts == key.subscripts for u in seen):
+            seen.append(key)
+    return seen
+
+
+def nest_severe_conflicts(
+    program: Program,
+    layout: DataLayout,
+    nest: LoopNest,
+    cache_size: int,
+    line_size: int,
+) -> list[ConflictPair]:
+    """Severely conflicting pairs of references to *different* arrays.
+
+    Intra-array conflicts are the business of intra-variable padding
+    (:mod:`repro.transforms.intrapad`), not inter-variable padding, so
+    same-array pairs are excluded here -- matching PAD's scope.
+    """
+    refs = _unique_refs(nest)
+    ranges = loop_var_ranges(nest)
+    pairs: list[ConflictPair] = []
+    for i, ra in enumerate(refs):
+        decl_a = program.decl(ra.array)
+        off_a = ra.offset_expr(decl_a) + layout.base(ra.array)
+        for rb in refs[i + 1 :]:
+            if rb.array == ra.array:
+                continue
+            decl_b = program.decl(rb.array)
+            expr = off_a - (rb.offset_expr(decl_b) + layout.base(rb.array))
+            dmin, dmax = affine_interval(expr, ranges)
+            if interval_conflicts_with_cache(dmin, dmax, cache_size, line_size):
+                pairs.append(
+                    ConflictPair(
+                        nest_label=nest.label,
+                        ref_a=ra,
+                        ref_b=rb,
+                        fixable=(dmin == dmax),
+                    )
+                )
+    return pairs
+
+
+def program_severe_conflicts(
+    program: Program,
+    layout: DataLayout,
+    cache_size: int,
+    line_size: int,
+) -> ConflictReport:
+    """Severe conflicts across all nests of the program."""
+    pairs: list[ConflictPair] = []
+    for nest in program.nests:
+        pairs.extend(
+            nest_severe_conflicts(program, layout, nest, cache_size, line_size)
+        )
+    return ConflictReport(cache_size=cache_size, line_size=line_size, pairs=tuple(pairs))

@@ -1,0 +1,47 @@
+"""One-call program simulation: IR + layout + hierarchy -> miss statistics.
+
+This is the main entry point the experiments and examples use::
+
+    from repro import simulate_program, ultrasparc_i
+    result = simulate_program(program, layout, ultrasparc_i())
+    print(result.miss_rate("L1"), result.miss_rate("L2"))
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.stats import SimulationResult
+from repro.cache.streaming import StreamingHierarchy
+from repro.ir.program import Program
+from repro.layout.layout import DataLayout
+from repro.trace.generator import DEFAULT_CHUNK_REFS, program_trace_chunks
+
+__all__ = ["simulate_program", "simulate_nest"]
+
+
+def simulate_program(
+    program: Program,
+    layout: DataLayout,
+    hierarchy: HierarchyConfig,
+    max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> SimulationResult:
+    """Trace the whole program under ``layout`` and simulate the hierarchy."""
+    sim = StreamingHierarchy(hierarchy)
+    sim.feed_all(program_trace_chunks(program, layout, max_chunk_refs))
+    return sim.result()
+
+
+def simulate_nest(
+    program: Program,
+    layout: DataLayout,
+    nest_index: int,
+    hierarchy: HierarchyConfig,
+    max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> SimulationResult:
+    """Simulate a single nest of the program (cold caches)."""
+    from repro.trace.generator import nest_trace_chunks
+
+    nest = program.nests[nest_index]
+    sim = StreamingHierarchy(hierarchy)
+    sim.feed_all(nest_trace_chunks(program, layout, nest, max_chunk_refs))
+    return sim.result()

@@ -1,0 +1,23 @@
+"""Lowering IR programs to byte-address traces.
+
+The generator is chunked: large nests are produced as a stream of NumPy
+address arrays (iterating outer loops in Python only when a sub-nest is
+too large or has symbolic bounds), so whole-program simulations never
+materialize gigabyte traces.  The naive interpreter replays nests one
+access at a time and serves as the generator's ground truth in tests.
+"""
+
+from repro.trace.generator import (
+    generate_trace,
+    nest_trace_chunks,
+    program_trace_chunks,
+)
+from repro.trace.interpreter import interpret_nest, interpret_program
+
+__all__ = [
+    "generate_trace",
+    "nest_trace_chunks",
+    "program_trace_chunks",
+    "interpret_nest",
+    "interpret_program",
+]

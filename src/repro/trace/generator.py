@@ -1,0 +1,170 @@
+"""Vectorized address-trace generation.
+
+For a rectangular sub-nest every reference's byte address is affine in the
+loop indices, so the entire sub-trace is a broadcast sum of index grids --
+no Python-level per-iteration work.  Loops whose bounds depend on outer
+variables (triangular nests) or whose sub-space exceeds the chunk budget
+are iterated in Python, with the fully-vectorized path used as soon as the
+remaining sub-nest qualifies.  Reference interleaving follows statement
+order exactly: the trace of a sub-space is an (iterations x refs) matrix
+raveled row-major.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.affine import AffineExpr
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program
+from repro.layout.layout import DataLayout
+
+__all__ = ["nest_trace_chunks", "program_trace_chunks", "generate_trace"]
+
+DEFAULT_CHUNK_REFS = 4_000_000
+
+
+def _loop_values(lower: int, upper: int, step: int) -> np.ndarray:
+    if step > 0:
+        return np.arange(lower, upper + 1, step, dtype=np.int64)
+    return np.arange(lower, upper - 1, step, dtype=np.int64)
+
+
+def _offset_exprs(program: Program, layout: DataLayout, nest: LoopNest) -> list[AffineExpr]:
+    """Absolute-address affine expression of every reference, in trace order."""
+    bases = layout.bases()
+    out = []
+    for ref in nest.refs:
+        decl = program.decl(ref.array)
+        out.append(ref.offset_expr(decl) + bases[ref.array])
+    return out
+
+
+def _concrete_from(nest: LoopNest, level: int) -> bool:
+    """Can every loop from ``level`` inward be evaluated once outers are fixed?
+
+    True when no bound from ``level`` inward references a loop variable at
+    or inside ``level`` -- i.e. the remaining sub-nest is rectangular given
+    concrete outer indices, which is what broadcasting requires.
+    """
+    inner_vars = {lp.var for lp in nest.loops[level:]}
+    for lp in nest.loops[level:]:
+        for bound in lp.all_bounds:
+            if any(v in inner_vars for v in bound.variables):
+                return False
+    return True
+
+
+def _subspace_refs(nest: LoopNest, level: int, env: dict[str, int]) -> int:
+    """Dynamic reference count of the sub-nest from ``level`` inward."""
+    count = nest.refs_per_iteration
+    for lp in nest.loops[level:]:
+        lo = lp.effective_lower(env)
+        hi = lp.effective_upper(env)
+        count *= max(0, ((hi - lo) // lp.step + 1) if (hi - lo) * lp.step >= 0 else 0)
+    return count
+
+
+def _emit_subspace(
+    exprs: list[AffineExpr],
+    nest: LoopNest,
+    level: int,
+    env: dict[str, int],
+) -> np.ndarray:
+    """Fully vectorized trace of the rectangular sub-nest from ``level``."""
+    inner = nest.loops[level:]
+    values = []
+    for lp in inner:
+        lo = lp.effective_lower(env)
+        hi = lp.effective_upper(env)
+        values.append(_loop_values(lo, hi, lp.step))
+    counts = [v.size for v in values]
+    total = 1
+    for c in counts:
+        total *= c
+    nrefs = len(exprs)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+
+    # Broadcastable index grids, innermost fastest-varying.
+    grids = {}
+    ndim = len(inner)
+    for k, (lp, v) in enumerate(zip(inner, values)):
+        shape = [1] * ndim
+        shape[k] = v.size
+        grids[lp.var] = v.reshape(shape)
+
+    out = np.empty((total, nrefs), dtype=np.int64)
+    vector_env: dict[str, object] = dict(env)
+    vector_env.update(grids)
+    for r, expr in enumerate(exprs):
+        addr = expr.evaluate(vector_env)
+        if isinstance(addr, (int, np.integer)):
+            out[:, r] = int(addr)
+        else:
+            out[:, r] = np.broadcast_to(addr, tuple(counts)).reshape(total)
+    return out.reshape(total * nrefs)
+
+
+def nest_trace_chunks(
+    program: Program,
+    layout: DataLayout,
+    nest: LoopNest,
+    max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> Iterator[np.ndarray]:
+    """Yield the nest's address trace as a sequence of int64 chunks.
+
+    ``max_chunk_refs`` bounds the number of references per emitted chunk;
+    the generator descends into outer loops in Python until the remaining
+    sub-nest both is rectangular (given fixed outer indices) and fits the
+    budget, then vectorizes it in one shot.
+    """
+    if max_chunk_refs <= 0:
+        raise IRError("max_chunk_refs must be positive")
+    exprs = _offset_exprs(program, layout, nest)
+
+    def walk(level: int, env: dict[str, int]) -> Iterator[np.ndarray]:
+        if level == nest.depth:
+            # All loops fixed: emit the single iteration's refs.
+            yield _emit_subspace(exprs, nest, level, env)
+            return
+        if _concrete_from(nest, level):
+            size = _subspace_refs(nest, level, env)
+            if size <= max_chunk_refs:
+                yield _emit_subspace(exprs, nest, level, env)
+                return
+        lp = nest.loops[level]
+        lo = lp.effective_lower(env)
+        hi = lp.effective_upper(env)
+        for value in range(lo, hi + (1 if lp.step > 0 else -1), lp.step):
+            child = dict(env)
+            child[lp.var] = value
+            yield from walk(level + 1, child)
+
+    # Top-level: bounds of loop 0 are necessarily constant (no outer vars).
+    yield from walk(0, {})
+
+
+def program_trace_chunks(
+    program: Program,
+    layout: DataLayout,
+    max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> Iterator[np.ndarray]:
+    """Concatenated chunked trace of all nests in program order."""
+    for nest in program.nests:
+        yield from nest_trace_chunks(program, layout, nest, max_chunk_refs)
+
+
+def generate_trace(
+    program: Program,
+    layout: DataLayout,
+    max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> np.ndarray:
+    """Materialize the full program trace (use chunks for large programs)."""
+    chunks = list(program_trace_chunks(program, layout, max_chunk_refs))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)

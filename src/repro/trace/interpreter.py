@@ -1,0 +1,70 @@
+"""Naive trace interpreter: one Python iteration per loop iteration.
+
+Ground truth for the vectorized generator.  Also performs the bounds
+checking the fast path skips, so tests route small programs through here
+to validate kernels' subscripts stay inside their declarations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program
+from repro.layout.layout import DataLayout
+
+__all__ = ["interpret_nest", "interpret_program"]
+
+
+def interpret_nest(
+    program: Program,
+    layout: DataLayout,
+    nest: LoopNest,
+    check_bounds: bool = True,
+) -> np.ndarray:
+    """Replay one nest iteration by iteration, returning its byte trace."""
+    bases = layout.bases()
+    decls = {ref.array: program.decl(ref.array) for ref in nest.refs}
+    out: list[int] = []
+
+    def run(level: int, env: dict[str, int]) -> None:
+        if level == nest.depth:
+            for st in nest.body:
+                for ref in st.refs:
+                    decl = decls[ref.array]
+                    subs = tuple(int(s.evaluate(env)) for s in ref.subscripts)
+                    if check_bounds:
+                        off = decl.element_offset(subs)  # validates 1..extent
+                    else:
+                        off = sum(
+                            (idx - 1) * stride
+                            for idx, stride in zip(subs, decl.strides_bytes)
+                        )
+                    out.append(bases[ref.array] + off)
+            return
+        lp = nest.loops[level]
+        lo = lp.effective_lower(env)
+        hi = lp.effective_upper(env)
+        stop = hi + (1 if lp.step > 0 else -1)
+        for value in range(lo, stop, lp.step):
+            env[lp.var] = value
+            run(level + 1, env)
+        env.pop(lp.var, None)
+
+    run(0, {})
+    return np.asarray(out, dtype=np.int64)
+
+
+def interpret_program(
+    program: Program,
+    layout: DataLayout,
+    check_bounds: bool = True,
+) -> np.ndarray:
+    """Replay every nest in order; concatenated byte trace."""
+    parts = [
+        interpret_nest(program, layout, nest, check_bounds)
+        for nest in program.nests
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)

@@ -1,0 +1,153 @@
+"""Scalar replacement and array contraction.
+
+Two register/storage optimizations the paper leans on:
+
+* **Scalar replacement** -- the paper's Figure 13 footnote measures that
+  unrolling plus scalar replacement lifts their matmul from ~38 to ~60
+  MFLOPS, and Section 4 observes that after fusion "the second [identical
+  reference] will access the L1 cache or a register".
+  :func:`scalar_replace` models the register half: within one statement,
+  and optionally across a whole iteration's statements, repeated identical
+  references after the first are removed from the reference stream (they
+  would be register hits, invisible to the cache).
+
+* **Array contraction** -- cited as a goal of loop fusion [9]: when a
+  fused nest both writes and reads an array only at the *same* iteration,
+  the array can shrink to a scalar.  :func:`contract_array` performs the
+  legality check and rewrites the program with a one-element array, which
+  shrinks the data footprint (and the layout) accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import LoopNest, Statement
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+
+__all__ = ["scalar_replace", "contract_array", "contractible_arrays"]
+
+
+def scalar_replace(
+    nest: LoopNest,
+    across_statements: bool = True,
+    sink_stores: bool = False,
+) -> LoopNest:
+    """Drop repeated identical references within an iteration.
+
+    The first occurrence of each (array, subscripts) pair stays in the
+    trace; later occurrences are register hits and disappear.  With
+    ``across_statements=False`` only repetitions inside a single statement
+    are removed.  Stores are kept by default; ``sink_stores=True``
+    additionally keeps only the *last* store to each location (the value
+    lives in a register between, as after unroll-and-jam of a reduction).
+    """
+    seen: set[tuple] = set()
+    new_body: list[Statement] = []
+    for st in nest.body:
+        if not across_statements:
+            seen = set()
+        kept: list[ArrayRef] = []
+        for ref in st.refs:
+            key = (ref.array, ref.subscripts, ref.is_write)
+            if ref.is_write:
+                kept.append(ref)
+                # A store makes the value register-resident for later reads.
+                seen.add((ref.array, ref.subscripts, False))
+                continue
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(ref)
+        if kept:
+            new_body.append(Statement(tuple(kept), st.flops, st.label))
+    if not new_body:
+        raise TransformError("scalar replacement removed every reference")
+
+    if sink_stores:
+        # Keep only the final store to each location, scanning backwards.
+        final: set[tuple] = set()
+        sunk: list[Statement] = []
+        for st in reversed(new_body):
+            kept = []
+            for ref in reversed(st.refs):
+                if ref.is_write:
+                    key = (ref.array, ref.subscripts)
+                    if key in final:
+                        continue
+                    final.add(key)
+                kept.append(ref)
+            if kept:
+                sunk.append(Statement(tuple(reversed(kept)), st.flops, st.label))
+        new_body = list(reversed(sunk))
+        if not new_body:
+            raise TransformError("scalar replacement removed every reference")
+    return LoopNest(nest.loops, tuple(new_body), nest.label)
+
+
+def contractible_arrays(program: Program) -> tuple[str, ...]:
+    """Arrays that are only ever accessed at one subscript pattern per
+    nest, written before read (or never read), and not live across nests.
+
+    Conservative: an array qualifies when (a) every nest that touches it
+    first writes it and only then reads the *same* subscripts, and (b) no
+    nest reads it without writing it first (no inter-nest liveness).
+    """
+    names = []
+    for decl in program.arrays:
+        ok = True
+        touched = False
+        for nest in program.nests:
+            refs = [r for r in nest.refs if r.array == decl.name]
+            if not refs:
+                continue
+            touched = True
+            written: set[tuple] = set()
+            for ref in refs:
+                if ref.is_write:
+                    written.add(ref.subscripts)
+                elif ref.subscripts not in written:
+                    ok = False  # read before any same-iteration write
+                    break
+            if not ok:
+                break
+        if ok and touched:
+            names.append(decl.name)
+    return tuple(names)
+
+
+def contract_array(program: Program, name: str, check: str = "strict") -> Program:
+    """Contract ``name`` to a single element (a register-like temporary).
+
+    Every reference to the array is rewritten to subscript (1, 1, ...).
+    ``check="strict"`` requires the array to be in
+    :func:`contractible_arrays`; ``check="none"`` contracts regardless
+    (useful for what-if footprint studies).
+    """
+    if check not in ("strict", "none"):
+        raise TransformError(f"unknown check mode {check!r}")
+    decl = program.decl(name)
+    if check == "strict" and name not in contractible_arrays(program):
+        raise TransformError(
+            f"array {name!r} is not contractible: it is read before being "
+            f"written in some nest (value is live across iterations)"
+        )
+    new_decl = ArrayDecl(name, (1,) * decl.rank, decl.element_size)
+    arrays = [new_decl if a.name == name else a for a in program.arrays]
+
+    def rewrite(ref: ArrayRef) -> ArrayRef:
+        if ref.array != name:
+            return ref
+        from repro.ir.affine import const
+
+        return ArrayRef(name, tuple(const(1) for _ in ref.subscripts), ref.is_write)
+
+    nests = []
+    for nest in program.nests:
+        body = tuple(
+            Statement(tuple(rewrite(r) for r in st.refs), st.flops, st.label)
+            for st in nest.body
+        )
+        nests.append(LoopNest(nest.loops, body, nest.label))
+    return Program(program.name, tuple(arrays), tuple(nests))

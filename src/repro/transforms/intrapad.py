@@ -1,0 +1,122 @@
+"""Intra-variable (array-column) padding.
+
+Pads the *leading dimension* of an array so that references to the same
+variable stop colliding on the cache -- the Section 6.1 preprocessing step
+"intra-variable (array column) padding is first performed in ADI32 and
+ERLE64 to avoid severe conflicts between references to the same variable"
+[20].
+
+The conflicts to remove are exactly the constant byte deltas between the
+program's uniformly generated same-array reference pairs: for ERLE64's
+``X(i,j,k)`` vs ``X(i,j,k-1)`` that delta is one (j,k)-plane = 32 KB, an
+exact multiple of the 16 KB L1 cache.  Because every such delta is a known
+function of the leading extent (strides are ``elem, lead*elem,
+lead*n2*elem, ...``), the transform recomputes the deltas for each
+candidate extent and grows the leading dimension until none lands within a
+cache line of a multiple of any targeted cache size.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import HierarchyConfig
+from repro.errors import TransformError
+from repro.ir.arrays import ArrayDecl
+from repro.ir.program import Program
+from repro.util.mathutil import circular_distance
+
+__all__ = ["intra_pad", "same_array_subscript_diffs"]
+
+
+def same_array_subscript_diffs(
+    program: Program, array: str
+) -> set[tuple[int, ...]]:
+    """Constant per-dimension subscript differences between uniformly
+    generated same-array reference pairs (the zero tuple excluded)."""
+    decl = program.decl(array)
+    diffs: set[tuple[int, ...]] = set()
+    for nest in program.nests:
+        refs = [r for r in nest.refs if r.array == array]
+        for i, ra in enumerate(refs):
+            for rb in refs[i + 1 :]:
+                if not ra.is_uniformly_generated_with(rb):
+                    continue
+                d = tuple(
+                    (sa - sb).constant
+                    for sa, sb in zip(ra.subscripts, rb.subscripts)
+                )
+                if any(d):
+                    diffs.add(d)
+                    diffs.add(tuple(-x for x in d))
+    return diffs
+
+
+def _delta_bytes(diff: tuple[int, ...], shape: tuple[int, ...], elem: int) -> int:
+    stride = elem
+    total = 0
+    for d, extent in zip(diff, shape):
+        total += d * stride
+        stride *= extent
+    return total
+
+
+def intra_pad(
+    program: Program,
+    cache_size: int,
+    line_size: int,
+    arrays: tuple[str, ...] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    max_extra_rows: int = 512,
+) -> Program:
+    """Grow leading dimensions until same-variable conflicts disappear.
+
+    Returns a new :class:`Program` with enlarged declarations; existing
+    subscripts remain valid because extents only grow.  Pass ``hierarchy``
+    to clear every cache level at once; otherwise only the single
+    ``(cache_size, line_size)`` level is targeted.  Any
+    :class:`~repro.layout.DataLayout` built from the old program must be
+    rebuilt, since array sizes changed.
+    """
+    if hierarchy is not None:
+        levels = [(cfg.size, cfg.line_size) for cfg in hierarchy]
+    else:
+        levels = [(cache_size, line_size)]
+
+    new_decls: list[ArrayDecl] = []
+    for decl in program.arrays:
+        if (arrays is not None and decl.name not in arrays) or decl.rank < 2:
+            new_decls.append(decl)
+            continue
+        diffs = same_array_subscript_diffs(program, decl.name)
+        if not diffs:
+            new_decls.append(decl)
+            continue
+        step = max(1, min(l for _, l in levels) // decl.element_size)
+        extra = 0
+
+        def _is_conflict(diff, shape) -> bool:
+            """References less than a line apart *in memory* share that
+            line legitimately (group-spatial reuse) -- only pairs at least
+            a line apart can ping-pong."""
+            delta = _delta_bytes(diff, shape, decl.element_size)
+            return any(
+                abs(delta) >= line
+                and circular_distance(delta % size, 0, size) < line
+                for size, line in levels
+            )
+
+        while True:
+            shape = (decl.shape[0] + extra,) + decl.shape[1:]
+            conflict = any(_is_conflict(diff, shape) for diff in diffs)
+            if not conflict:
+                break
+            extra += step
+            if extra > max_extra_rows:
+                raise TransformError(
+                    f"intra_pad: no non-resonant leading dimension for "
+                    f"{decl.name} within {max_extra_rows} extra rows"
+                )
+        new_decls.append(
+            ArrayDecl(decl.name, (decl.shape[0] + extra,) + decl.shape[1:],
+                      decl.element_size)
+        )
+    return program.with_arrays(new_decls)

@@ -1,0 +1,85 @@
+"""MAXPAD and L2MAXPAD: maximal separation of variables on a cache.
+
+MAXPAD (Rivera & Tseng, ICS '98) spaces the k optimized variables as far
+apart as possible on the cache -- position ``i * C/k`` for the i-th
+variable -- so that arcs of group reuse have the most room before another
+variable's references intrude.  When array columns are a small fraction of
+the cache this preserves *all* group reuse at that level (Figure 5).
+
+L2MAXPAD (Section 3.2.2) applies the same idea to the L2 cache after
+GROUPPAD has fixed the L1 layout: target positions are computed on the L2
+cache, then each pad is rounded to the nearest multiple of S1, so base
+addresses are unchanged modulo S1 and the L1 layout -- conflicts and
+exploited arcs alike -- is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import HierarchyConfig
+from repro.errors import TransformError
+from repro.ir.program import Program
+from repro.layout.layout import DataLayout
+
+__all__ = ["maxpad", "l2maxpad"]
+
+
+def _targets(cache_size: int, count: int) -> list[int]:
+    """Evenly spread cache positions for ``count`` variables."""
+    return [(i * cache_size) // count for i in range(count)]
+
+
+def maxpad(
+    program: Program,
+    layout: DataLayout,
+    cache_size: int,
+    pad_multiple: int = 1,
+) -> DataLayout:
+    """Separate variables maximally on a cache of ``cache_size`` bytes.
+
+    Each variable's pad is the smallest non-negative amount (restricted to
+    multiples of ``pad_multiple``) that brings its base address closest to
+    its evenly-spaced target position modulo the cache.  With
+    ``pad_multiple == 1`` targets are hit exactly; with ``pad_multiple ==
+    S1`` (see :func:`l2maxpad`) they are hit to within S1/2, "rounding pads
+    to the nearest S1 multiple after determining the approximate position".
+    """
+    if cache_size <= 0:
+        raise TransformError("cache_size must be positive")
+    if pad_multiple <= 0 or cache_size % pad_multiple != 0:
+        raise TransformError(
+            f"pad_multiple {pad_multiple} must divide cache size {cache_size}"
+        )
+    names = list(layout.order)
+    targets = _targets(cache_size, len(names))
+    out = layout
+    for name, target in zip(names, targets):
+        base = out.base(name)
+        # Smallest k >= 0 minimizing circular distance of
+        # (base + k*pad_multiple) mod cache_size to target: solve directly.
+        need = (target - base) % cache_size
+        k_exact, rem = divmod(need, pad_multiple)
+        k = k_exact if rem <= pad_multiple // 2 else k_exact + 1
+        out = out.add_pad(name, k * pad_multiple)
+    return out
+
+
+def l2maxpad(
+    program: Program,
+    layout: DataLayout,
+    hierarchy: HierarchyConfig,
+) -> DataLayout:
+    """MAXPAD on the L2 cache with pads in multiples of the L1 size.
+
+    Preserves the given (GROUPPAD) layout on the L1 cache: every base
+    address is unchanged modulo S1 (tested property), while variables are
+    spread across the much larger L2 cache so the group reuse the L1 cache
+    is too small to keep is exploited one level down.
+    """
+    if len(hierarchy) < 2:
+        raise TransformError("l2maxpad requires a hierarchy with an L2 cache")
+    return maxpad(
+        program,
+        layout,
+        cache_size=hierarchy.l2.size,
+        pad_multiple=hierarchy.l1.size,
+    )

@@ -1,0 +1,93 @@
+"""Strip-mining and tiling (Section 5, Figure 8).
+
+Tiling = strip-mine the chosen loops, then permute the strip ("tile
+controlling") loops outward.  Strip-mining introduces the IR's min-style
+upper bounds (``do I = II, min(II + H - 1, N)``), so arbitrary tile sizes
+work without requiring the tile to divide the trip count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TransformError
+from repro.ir.affine import var
+from repro.ir.loops import Loop, LoopNest
+from repro.transforms.permute import permute_nest
+
+__all__ = ["strip_mine", "tile_nest"]
+
+
+def strip_mine(
+    nest: LoopNest,
+    loop_var: str,
+    tile_size: int,
+    outer_name: str | None = None,
+) -> LoopNest:
+    """Split one unit-step loop into a tile loop and an element loop.
+
+    ``do v = lo, hi`` becomes ``do vv = lo, hi, T`` / ``do v = vv,
+    min(vv+T-1, hi)``, with ``vv`` placed immediately outside ``v`` (use
+    :func:`permute_nest` afterwards to hoist it).  The body is untouched.
+    """
+    if tile_size <= 0:
+        raise TransformError(f"tile size must be positive, got {tile_size}")
+    outer_name = outer_name or (loop_var + loop_var)
+    if outer_name in nest.loop_vars:
+        raise TransformError(f"strip-mine name {outer_name!r} already in use")
+
+    loops: list[Loop] = []
+    found = False
+    for lp in nest.loops:
+        if lp.var != loop_var:
+            loops.append(lp)
+            continue
+        found = True
+        if lp.step != 1:
+            raise TransformError(
+                f"strip-mining requires unit step, loop {loop_var} has {lp.step}"
+            )
+        tile_loop = Loop(
+            outer_name, lp.lower, lp.upper, step=tile_size,
+            extra_uppers=lp.extra_uppers,
+        )
+        elem_loop = Loop(
+            loop_var,
+            var(outer_name),
+            var(outer_name) + (tile_size - 1),
+            step=1,
+            extra_uppers=lp.uppers,
+        )
+        loops.extend([tile_loop, elem_loop])
+    if not found:
+        raise TransformError(f"no loop named {loop_var!r} in nest")
+    return LoopNest(tuple(loops), nest.body, nest.label)
+
+
+def tile_nest(
+    nest: LoopNest,
+    tiles: Sequence[tuple[str, int]],
+    order: Sequence[str] | None = None,
+    names: dict[str, str] | None = None,
+) -> LoopNest:
+    """Tile several loops and arrange the resulting nest.
+
+    ``tiles`` lists (loop_var, tile_size) pairs; each loop is strip-mined
+    (tile loop named via ``names`` or by doubling the variable).  ``order``
+    is the final loop order over both tile and element variables; when
+    omitted, all tile loops are hoisted outermost in ``tiles`` order,
+    followed by the remaining loops in their original order -- which for
+    matrix multiply with ``tiles=[("k", W), ("i", H)]`` reproduces
+    Figure 8's ``KK, II, J, K, I``.
+    """
+    names = names or {}
+    out = nest
+    tile_vars: list[str] = []
+    for lv, size in tiles:
+        outer = names.get(lv, lv + lv)
+        out = strip_mine(out, lv, size, outer)
+        tile_vars.append(outer)
+    if order is None:
+        rest = [v for v in out.loop_vars if v not in tile_vars]
+        order = tile_vars + rest
+    return permute_nest(out, order)

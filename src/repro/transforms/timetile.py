@@ -1,0 +1,112 @@
+"""Time-step (temporal) tiling -- Song & Li's technique, Section 5's exception.
+
+The paper's one case where tiling should *not* target the L1 cache:
+when "multiple loop nests enclosed in a single time-step loop" are tiled
+so tiles overlap time steps, "the large amount of data that must be held
+in cache spans many loop nests [so] the L1 cache is unlikely to be
+sufficiently large ... the tiling algorithm targets the L2 cache,
+completely bypassing the L1 cache."
+
+:func:`time_tile` implements skewed time blocking for a nest of shape
+``(t, j, inner...)``: the space dimension is blocked with width ``block``
+and each block slides by ``skew`` columns per time step, so dependences
+that travel at most ``skew`` columns per step stay inside the block
+ordering.  The result is a perfect nest
+
+    do jj = lo_j - skew*(T-1) - (block-1), hi_j, block
+      do t = t_lo, t_hi
+        do j = max(lo_j, jj + skew*(t - t_lo)),
+               min(hi_j, jj + skew*(t - t_lo) + block - 1)
+          ...
+
+expressible with the IR's min/max bounds; every (t, j) iteration runs
+exactly once (each length-``block`` window holds exactly one point of the
+``jj`` grid).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.affine import var
+from repro.ir.loops import Loop, LoopNest
+
+__all__ = ["time_tile", "block_columns_for_cache"]
+
+
+def block_columns_for_cache(
+    cache_bytes: int,
+    column_bytes: int,
+    time_steps: int,
+    skew: int = 1,
+    arrays: int = 1,
+) -> int:
+    """Largest block width whose sliding working set fits the cache.
+
+    A block of B columns skewed over T steps touches ``B + skew*T``
+    columns per array; returns the largest positive B, or 0 when even
+    B = 1 does not fit -- the paper's argument for why the L1 cache is
+    "unlikely to be sufficiently large" here.
+    """
+    if min(cache_bytes, column_bytes, time_steps, arrays) <= 0 or skew < 0:
+        raise TransformError("all parameters must be positive (skew >= 0)")
+    budget_cols = cache_bytes // (column_bytes * arrays)
+    return max(0, budget_cols - skew * time_steps)
+
+
+def time_tile(
+    nest: LoopNest,
+    time_var: str,
+    space_var: str,
+    block: int,
+    skew: int = 1,
+    block_var: str | None = None,
+) -> LoopNest:
+    """Skewed time blocking of a ``(time, space, ...)`` nest.
+
+    Requires ``time_var`` to be the outermost loop and ``space_var`` the
+    next one, both rectangular with unit step.  Legality (not checked
+    against the body: the IR carries no dependence semantics) requires
+    ``skew`` to cover the farthest column a value can flow per time step
+    -- 1 for a three-point stencil.
+    """
+    if block <= 0:
+        raise TransformError(f"block must be positive, got {block}")
+    if skew < 0:
+        raise TransformError(f"skew must be non-negative, got {skew}")
+    if nest.depth < 2 or nest.loops[0].var != time_var or nest.loops[1].var != space_var:
+        raise TransformError(
+            f"time_tile expects loops ({time_var}, {space_var}, ...) outermost; "
+            f"got {nest.loop_vars}"
+        )
+    t_loop, j_loop = nest.loops[0], nest.loops[1]
+    for lp in (t_loop, j_loop):
+        if not lp.is_rectangular or lp.step != 1 or lp.extra_uppers or lp.extra_lowers:
+            raise TransformError(
+                f"time_tile requires rectangular unit-step {lp.var!r}"
+            )
+    block_var = block_var or (space_var + space_var)
+    if block_var in nest.loop_vars:
+        raise TransformError(f"block variable {block_var!r} already in use")
+
+    t_lo, t_hi = t_loop.lower.constant, t_loop.upper.constant
+    j_lo, j_hi = j_loop.lower.constant, j_loop.upper.constant
+    total_skew = skew * (t_hi - t_lo)
+
+    jj = var(block_var)
+    shift = jj + skew * (var(time_var) - t_lo)
+    blocked = Loop(
+        block_var,
+        lower=j_lo - total_skew - (block - 1),
+        upper=j_hi,
+        step=block,
+    )
+    new_j = Loop(
+        space_var,
+        lower=shift,
+        upper=shift + (block - 1),
+        step=1,
+        extra_uppers=(j_loop.upper,),
+        extra_lowers=(j_loop.lower,),
+    )
+    loops = (blocked, t_loop) + (new_j,) + nest.loops[2:]
+    return LoopNest(loops, nest.body, nest.label + "+timetile")

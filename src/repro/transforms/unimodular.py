@@ -1,0 +1,84 @@
+"""Unimodular loop transformations: reversal, interchange, skewing.
+
+With permutation (:mod:`repro.transforms.permute`) these span the
+unimodular framework of Wolf & Lam [29, 30], which the paper cites as the
+class of transformations that "do not need to target multi-level caches".
+They are provided for completeness and for composing tiling of skewed
+stencils.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.affine import AffineExpr, var
+from repro.ir.loops import Loop, LoopNest
+from repro.transforms.permute import permute_nest
+
+__all__ = ["reverse_loop", "interchange", "skew"]
+
+
+def reverse_loop(nest: LoopNest, loop_var: str) -> LoopNest:
+    """Reverse the iteration direction of one loop.
+
+    Only rectangular loops (constant bounds) can be reversed, and no other
+    loop's bounds may depend on the reversed variable's direction (bounds
+    depending on its *value* are fine: the value set is unchanged).
+    """
+    loops = []
+    found = False
+    for lp in nest.loops:
+        if lp.var == loop_var:
+            loops.append(lp.reversed())
+            found = True
+        else:
+            loops.append(lp)
+    if not found:
+        raise TransformError(f"no loop named {loop_var!r} in nest")
+    return LoopNest(tuple(loops), nest.body, nest.label)
+
+
+def interchange(nest: LoopNest, var_a: str, var_b: str) -> LoopNest:
+    """Swap two loops (a special case of permutation)."""
+    if var_a == var_b:
+        return nest
+    order = list(nest.loop_vars)
+    try:
+        ia, ib = order.index(var_a), order.index(var_b)
+    except ValueError as exc:
+        raise TransformError(f"unknown loop in interchange: {exc}") from None
+    order[ia], order[ib] = order[ib], order[ia]
+    return permute_nest(nest, order)
+
+
+def skew(nest: LoopNest, outer_var: str, inner_var: str, factor: int) -> LoopNest:
+    """Skew ``inner_var`` by ``factor * outer_var``.
+
+    The new inner index runs over ``inner + factor*outer``; body references
+    substitute ``inner -> inner - factor*outer``.  Skewing preserves the
+    iteration set (unimodular with determinant 1) and makes wavefront
+    permutations legal for stencils.
+    """
+    vars_ = nest.loop_vars
+    if outer_var not in vars_ or inner_var not in vars_:
+        raise TransformError(f"unknown loops in skew: {outer_var}, {inner_var}")
+    if vars_.index(outer_var) >= vars_.index(inner_var):
+        raise TransformError(
+            f"skew requires {outer_var!r} to enclose {inner_var!r}"
+        )
+    if factor == 0:
+        return nest
+
+    loops = []
+    for lp in nest.loops:
+        if lp.var != inner_var:
+            loops.append(lp)
+            continue
+        if lp.extra_uppers:
+            raise TransformError("cannot skew a loop with min-style bounds")
+        shift = var(outer_var) * factor
+        loops.append(
+            Loop(lp.var, lp.lower + shift, lp.upper + shift, lp.step)
+        )
+    replacement: AffineExpr = var(inner_var) - var(outer_var) * factor
+    body = tuple(st.substitute(inner_var, replacement) for st in nest.body)
+    return LoopNest(tuple(loops), body, nest.label)

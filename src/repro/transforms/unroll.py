@@ -1,0 +1,66 @@
+"""Loop unrolling / unroll-and-jam.
+
+The paper's Figure 13 footnote: "if we unroll the loop by hand and apply
+scalar replacement, we achieve 60 MFLOPS" (vs ~38 tiled) -- register-level
+work the cache model cannot see until the replicated references are
+deduplicated.  :func:`unroll` replicates the body ``factor`` times with
+the loop variable shifted, and composing it with
+:func:`repro.transforms.contraction.scalar_replace` reproduces the
+footnote's effect in the reference stream (fewer references per flop).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program  # noqa: F401  (signature documentation)
+
+__all__ = ["unroll"]
+
+
+def unroll(nest: LoopNest, loop_var: str, factor: int) -> LoopNest:
+    """Unroll one unit-step loop by ``factor``.
+
+    The loop's trip count must be a multiple of ``factor`` (remainder
+    loops would make the nest imperfect, which the IR does not model);
+    bounds must be constant.  Body statements are replicated in unroll
+    order -- iteration ``v`` runs copies for ``v, v+1, ..., v+factor-1``
+    back to back, exactly like hand-unrolled source.
+    """
+    if factor <= 0:
+        raise TransformError(f"unroll factor must be positive, got {factor}")
+    if factor == 1:
+        return nest
+    loops = []
+    target = None
+    for lp in nest.loops:
+        if lp.var == loop_var:
+            target = lp
+            if not lp.is_rectangular or lp.step != 1:
+                raise TransformError(
+                    f"unroll requires a rectangular unit-step loop, "
+                    f"got {lp.var!r}"
+                )
+            if lp.extra_uppers or lp.extra_lowers:
+                raise TransformError(
+                    f"cannot unroll loop {lp.var!r} with min/max bounds"
+                )
+            trip = lp.trip_count()
+            if trip % factor != 0:
+                raise TransformError(
+                    f"trip count {trip} of loop {lp.var!r} is not a "
+                    f"multiple of the unroll factor {factor}"
+                )
+            loops.append(Loop(lp.var, lp.lower, lp.upper, step=factor))
+        else:
+            loops.append(lp)
+    if target is None:
+        raise TransformError(f"no loop named {loop_var!r} in nest")
+
+    from repro.ir.affine import var as _var
+
+    body: list[Statement] = []
+    for c in range(factor):
+        for st in nest.body:
+            body.append(st.substitute(loop_var, _var(loop_var) + c))
+    return LoopNest(tuple(loops), tuple(body), nest.label)

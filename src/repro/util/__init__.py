@@ -1,0 +1,21 @@
+"""Shared utilities: modular arithmetic, validation, text tables."""
+
+from repro.util.mathutil import (
+    ceil_div,
+    circular_distance,
+    gcd_list,
+    is_power_of_two,
+    next_multiple,
+    round_to_multiple,
+)
+from repro.util.tabulate import format_table
+
+__all__ = [
+    "ceil_div",
+    "circular_distance",
+    "gcd_list",
+    "is_power_of_two",
+    "next_multiple",
+    "round_to_multiple",
+    "format_table",
+]

@@ -1,0 +1,56 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment harness prints the paper's tables and figure series as text
+tables; this module is the single formatting implementation so every
+experiment renders consistently (and tests can assert on structure).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``floatfmt``; every other value via ``str``.
+    Raises ``ValueError`` when a row's width disagrees with the header.
+    """
+    ncols = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for i, row in enumerate(rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols} (headers={headers!r})"
+            )
+        rendered.append([_render_cell(v, floatfmt) for v in row])
+
+    widths = [max(len(r[c]) for r in rendered) for c in range(ncols)]
+    sep = "-+-".join("-" * w for w in widths)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(rendered[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in rendered[1:])
+    return "\n".join(lines)

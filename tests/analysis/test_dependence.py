@@ -1,0 +1,188 @@
+"""Dependence analysis: distance/direction vectors and legality tests."""
+
+import pytest
+
+from repro import ProgramBuilder
+from repro.analysis.dependence import (
+    distance_vector,
+    nest_dependences,
+    permutation_legal,
+    reversal_legal,
+)
+from repro.errors import AnalysisError
+from repro.ir.affine import var
+from repro.ir.refs import ArrayRef
+
+
+def stencil(write_off=(0, 0), read_off=(-1, 0), n=16):
+    """A(i+wo) = f(A(i+ro)) over (j, i) loops -- i inner."""
+    b = ProgramBuilder("st")
+    A = b.array("A", (n + 2, n + 2))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 2, n), b.loop(i, 2, n)],
+        [
+            b.assign(
+                A[i + write_off[0], j + write_off[1]],
+                reads=[A[i + read_off[0], j + read_off[1]]],
+                flops=1,
+            )
+        ],
+    )
+    return b.build()
+
+
+class TestDistanceVector:
+    def test_simple_shift(self):
+        a = ArrayRef("A", (var("i"), var("j")), is_write=True)
+        b = ArrayRef("A", (var("i") - 1, var("j")))
+        assert distance_vector(a, b, ("j", "i")) == (0, 1)
+
+    def test_same_iteration(self):
+        a = ArrayRef("A", (var("i"),), is_write=True)
+        b = ArrayRef("A", (var("i"),))
+        assert distance_vector(a, b, ("i",)) == (0,)
+
+    def test_invariant_loop_is_unconstrained(self):
+        """B(j) does not mention i: the i component is '*' (None), since
+        the same element is touched at every i iteration."""
+        a = ArrayRef("B", (var("j"),), is_write=True)
+        b = ArrayRef("B", (var("j"),))
+        assert distance_vector(a, b, ("j", "i")) == (0, None)
+
+    def test_disjoint_planes(self):
+        a = ArrayRef("A", (var("i"), 1), is_write=True)
+        b = ArrayRef("A", (var("i"), 2))
+        assert distance_vector(a, b, ("i",)) == ()
+
+    def test_contradictory_dims_independent(self):
+        # A(i, i) vs A(i+1, i): first dim needs d=1, second d=0.
+        a = ArrayRef("A", (var("i"), var("i")), is_write=True)
+        b = ArrayRef("A", (var("i") + 1, var("i")))
+        assert distance_vector(a, b, ("i",)) == ()
+
+    def test_unanalyzable_transpose(self):
+        a = ArrayRef("A", (var("i"), var("j")), is_write=True)
+        b = ArrayRef("A", (var("j"), var("i")))
+        assert distance_vector(a, b, ("j", "i")) is None
+
+    def test_unanalyzable_scaled(self):
+        a = ArrayRef("A", (2 * var("i"),), is_write=True)
+        b = ArrayRef("A", (var("i"),))
+        assert distance_vector(a, b, ("i",)) is None
+
+
+class TestNestDependences:
+    def test_flow_dependence_found(self):
+        prog = stencil(read_off=(-1, 0))
+        (dep,) = nest_dependences(prog.nests[0])
+        assert dep.kind == "flow/anti"
+        assert dep.distance == (0, 1)
+        assert dep.carrying_level() == 1  # carried by the inner i loop
+
+    def test_column_carried_dependence(self):
+        prog = stencil(read_off=(0, -1))
+        (dep,) = nest_dependences(prog.nests[0])
+        assert dep.distance == (1, 0)
+        assert dep.carrying_level() == 0
+
+    def test_temporal_write_self_output_dep(self):
+        """B(j) written under an inner i loop: output dependence on
+        itself, unconstrained in i."""
+        b = ProgramBuilder("t")
+        A = b.array("A", (8, 8))
+        Bv = b.array("B", (8,))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 8), b.loop(i, 1, 8)],
+            [b.assign(Bv[j], reads=[A[i, j]], flops=1)],
+        )
+        deps = nest_dependences(b.build().nests[0])
+        self_deps = [d for d in deps if d.ref_a.array == "B"]
+        assert any(d.distance == (0, None) for d in self_deps)
+
+    def test_independent_arrays_no_edges(self):
+        b = ProgramBuilder("ind")
+        A = b.array("A", (8,))
+        Bm = b.array("B", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 8)], [b.assign(A[i], reads=[Bm[i]], flops=1)])
+        assert nest_dependences(b.build().nests[0]) == []
+
+    def test_unanalyzable_raises(self):
+        b = ProgramBuilder("t")
+        A = b.array("A", (8, 8))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 8), b.loop(i, 1, 8)],
+            [b.assign(A[i, j], reads=[A[j, i]], flops=1)],
+        )
+        with pytest.raises(AnalysisError):
+            nest_dependences(b.build().nests[0])
+
+
+class TestLegality:
+    def test_interchange_legal_for_same_sign_stencil(self):
+        # A(i,j) = A(i-1,j-1): distance (1,1); any permutation stays
+        # lexicographically positive.
+        prog = stencil(read_off=(-1, -1))
+        assert permutation_legal(prog.nests[0], ("i", "j"))
+
+    def test_interchange_illegal_for_skewed_stencil(self):
+        # A(i,j) = A(i+1,j-1): distance (1,-1); interchanging gives
+        # (-1,1) -- lexicographically negative.
+        prog = stencil(read_off=(1, -1))
+        assert permutation_legal(prog.nests[0], ("j", "i"))  # original ok
+        assert not permutation_legal(prog.nests[0], ("i", "j"))
+
+    def test_temporal_write_blocks_nothing_on_interchange(self):
+        """B(j)'s (0,*) output dependence: interchanging (j,i)->(i,j)
+        turns forward instantiations (0,+) into (+,0) -- still forward, so
+        interchange remains legal."""
+        b = ProgramBuilder("t")
+        A = b.array("A", (8, 8))
+        Bv = b.array("B", (8,))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 8), b.loop(i, 1, 8)],
+            [b.assign(Bv[j], reads=[A[i, j]], flops=1)],
+        )
+        assert permutation_legal(b.build().nests[0], ("i", "j"))
+
+    def test_star_blocks_when_mixed_with_negative(self):
+        """A(j) = A(j+1) under an inner i loop: distance (-1, *).  The
+        forward instantiations are (1, *) after normalization... the raw
+        tuple (-1, *) has forward instantiation? No: lex sign of (-1, x)
+        is -1.  The reverse pairs (1, x) are the executed direction; after
+        interchange they become (x, 1), negative when x = -1 -> illegal."""
+        b = ProgramBuilder("t")
+        A = b.array("A", (10,))
+        X = b.array("X", (10, 10))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 9), b.loop(i, 1, 10)],
+            [b.assign(A[j], reads=[A[j + 1], X[i, j]], flops=1)],
+        )
+        assert not permutation_legal(b.build().nests[0], ("i", "j"))
+
+    def test_reversal_legality(self):
+        prog = stencil(read_off=(-1, 0))  # carried by i
+        nest = prog.nests[0]
+        assert not reversal_legal(nest, "i")
+        assert reversal_legal(nest, "j")
+
+    def test_not_a_permutation_raises(self):
+        prog = stencil()
+        with pytest.raises(AnalysisError):
+            permutation_legal(prog.nests[0], ("i", "i"))
+
+    def test_unanalyzable_is_conservative(self):
+        b = ProgramBuilder("t")
+        A = b.array("A", (8, 8))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 8), b.loop(i, 1, 8)],
+            [b.assign(A[i, j], reads=[A[j, i]], flops=1)],
+        )
+        assert not permutation_legal(b.build().nests[0], ("i", "j"))
+        assert not reversal_legal(b.build().nests[0], "i")

@@ -1,0 +1,81 @@
+"""Wolf & Lam reuse classification and the permutation cost model."""
+
+import pytest
+
+from repro import ProgramBuilder
+from repro.analysis.reuse import (
+    ReuseKind,
+    classify_nest,
+    classify_ref,
+    innermost_locality_score,
+)
+
+
+def fig1_program():
+    """The paper's Figure 1 original: B(j) = A(j,i), loops j outer, i inner."""
+    b = ProgramBuilder("fig1")
+    A = b.array("A", (100, 50))
+    B = b.array("B", (100,))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 1, 100), b.loop(i, 1, 50)],
+        [b.assign(B[j], reads=[A[j, i]], flops=0)],
+    )
+    return b.build()
+
+
+class TestClassification:
+    def test_fig1_reuse_kinds(self):
+        prog = fig1_program()
+        nest = prog.nests[0]
+        a_read = nest.refs[0]
+        b_write = nest.refs[1]
+        a_cls = classify_ref(prog, nest, a_read, line_size=32)
+        # A(j,i): spatial on j (8B stride), none on i (800B stride).
+        assert a_cls.kind("j") is ReuseKind.SPATIAL
+        assert a_cls.kind("i") is ReuseKind.NONE
+        b_cls = classify_ref(prog, nest, b_write, line_size=32)
+        # B(j): temporal on i, spatial on j.
+        assert b_cls.kind("i") is ReuseKind.TEMPORAL
+        assert b_cls.kind("j") is ReuseKind.SPATIAL
+
+    def test_classify_nest_covers_all_refs(self):
+        prog = fig1_program()
+        infos = classify_nest(prog, prog.nests[0], 32)
+        assert len(infos) == 2
+
+    def test_unknown_loop_raises(self):
+        prog = fig1_program()
+        info = classify_ref(prog, prog.nests[0], prog.nests[0].refs[0], 32)
+        with pytest.raises(KeyError):
+            info.kind("zz")
+
+    def test_negative_stride_is_spatial_too(self):
+        b = ProgramBuilder("rev")
+        A = b.array("A", (64,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 64, 1, step=-1)], [b.use(reads=[A[i]])])
+        prog = b.build()
+        cls = classify_ref(prog, prog.nests[0], prog.nests[0].refs[0], 32)
+        assert cls.kind("i") is ReuseKind.SPATIAL
+
+
+class TestPermutationModel:
+    def test_fig1_prefers_j_innermost(self):
+        """Figure 1's loop permutation: making j innermost wins both
+        temporal reuse of B and spatial reuse of A."""
+        prog = fig1_program()
+        nest = prog.nests[0]
+        score_j = innermost_locality_score(prog, nest, "j", 32)
+        score_i = innermost_locality_score(prog, nest, "i", 32)
+        assert score_j > score_i
+
+    def test_score_independent_of_cache_size(self):
+        """Section 2.1: the ranking depends on the line size only -- there
+        is no cache-size parameter to pass at all."""
+        prog = fig1_program()
+        nest = prog.nests[0]
+        for line in (32, 64, 128):
+            assert innermost_locality_score(
+                prog, nest, "j", line
+            ) > innermost_locality_score(prog, nest, "i", line)

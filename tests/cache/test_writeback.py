@@ -1,0 +1,112 @@
+"""Write-back cache: dirty-line accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cache.direct import miss_mask_direct
+from repro.cache.writeback import WritebackDirectCache, simulate_writebacks
+from repro.errors import SimulationError
+
+
+def naive_writeback(addresses, writes, size, line_size):
+    """Reference model: per-access replay with tags + dirty bits."""
+    num_sets = size // line_size
+    tags = {}
+    dirty = {}
+    misses = writebacks = 0
+    for a, w in zip(addresses, writes):
+        line = a // line_size
+        s, t = line % num_sets, line // num_sets
+        if tags.get(s) != t:
+            misses += 1
+            if s in tags and dirty.get(s):
+                writebacks += 1
+            tags[s] = t
+            dirty[s] = bool(w)
+        else:
+            dirty[s] = dirty.get(s, False) or bool(w)
+    return misses, writebacks, sum(1 for v in dirty.values() if v)
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_traces(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 600
+        addrs = rng.integers(0, 4096, size=n)
+        writes = rng.random(n) < 0.3
+        cache = WritebackDirectCache(1024, 32)
+        # Feed in uneven chunks to exercise carried state.
+        cuts = [0, 50, 51, 300, 600]
+        for a, b in zip(cuts, cuts[1:]):
+            cache.feed(addrs[a:b], writes[a:b])
+        exp_miss, exp_wb, exp_dirty = naive_writeback(addrs, writes, 1024, 32)
+        assert cache.misses == exp_miss
+        assert cache.writebacks == exp_wb
+        assert cache.flush() == exp_dirty
+
+    def test_miss_mask_matches_plain_direct(self):
+        rng = np.random.default_rng(77)
+        addrs = rng.integers(0, 8192, size=500)
+        writes = rng.random(500) < 0.5
+        cache = WritebackDirectCache(1024, 32)
+        mask = cache.feed(addrs, writes)
+        np.testing.assert_array_equal(mask, miss_mask_direct(addrs, 1024, 32))
+
+
+class TestSemantics:
+    def test_read_only_trace_never_writes_back(self):
+        addrs = np.array([0, 1024, 0, 1024])
+        cache = WritebackDirectCache(1024, 32)
+        cache.feed(addrs, np.zeros(4, dtype=bool))
+        assert cache.writebacks == 0
+        assert cache.flush() == 0
+
+    def test_dirty_pingpong_writes_back_every_eviction(self):
+        addrs = np.array([0, 1024] * 10)
+        cache = WritebackDirectCache(1024, 32)
+        cache.feed(addrs, np.ones(20, dtype=bool))
+        # All 20 accesses miss; every miss after the first evicts the
+        # other (dirty) line: 19 write-backs.
+        assert cache.writebacks == 19
+
+    def test_hit_write_dirties_resident_line(self):
+        cache = WritebackDirectCache(1024, 32)
+        cache.feed(np.array([0]), np.array([False]))   # clean load
+        cache.feed(np.array([8]), np.array([True]))    # dirty by hit-write
+        cache.feed(np.array([1024]), np.array([False]))  # evict -> write back
+        assert cache.writebacks == 1
+
+    def test_shape_mismatch_rejected(self):
+        cache = WritebackDirectCache(1024, 32)
+        with pytest.raises(SimulationError):
+            cache.feed(np.array([0, 1]), np.array([True]))
+
+
+class TestProgramLevel:
+    def test_padding_reduces_memory_traffic(self):
+        """Write-backs respond to padding just like misses: the resonant
+        jacobi copy-back sweep stops thrashing once padded."""
+        from repro import DataLayout
+        from repro.kernels import jacobi
+        from repro.transforms.pad import pad
+
+        prog = jacobi.build(128)  # 128*128*8 = 128 KB arrays: resonant
+        seq = DataLayout.sequential(prog)
+        padded = pad(prog, seq, 16 * 1024, 32)
+        before = simulate_writebacks(prog, seq, 16 * 1024, 32)
+        after = simulate_writebacks(prog, padded, 16 * 1024, 32)
+        assert after.memory_transfers < before.memory_transfers
+        assert after.writebacks <= before.writebacks
+
+    def test_stats_fields(self):
+        from repro import DataLayout
+        from repro.kernels import dot
+
+        prog = dot.build(2048)
+        stats = simulate_writebacks(
+            prog, DataLayout.sequential(prog), 16 * 1024, 32
+        )
+        assert stats.accesses == prog.total_refs()
+        assert stats.writebacks == 0  # dot never stores
+        assert stats.memory_transfers == stats.misses

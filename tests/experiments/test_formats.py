@@ -1,0 +1,106 @@
+"""Report formatting of each figure's result object.
+
+Cheap coverage of the presentation layer: every ``format()`` must include
+the paper's series/columns so the CLI output stays readable and complete.
+Uses tiny synthetic result objects -- no simulation.
+"""
+
+import pytest
+
+from repro.cache.config import ultrasparc_i
+from repro.cache.stats import LevelStats, SimulationResult
+from repro.experiments.common import VersionResult
+from repro.experiments.fig9_pad import Fig9Result, VERSIONS as F9V
+from repro.experiments.fig10_grouppad import Fig10Result, VERSIONS as F10V
+from repro.experiments.fig11_sweep import Fig11Result, sweep_sizes
+from repro.experiments.fig12_fusion import Fig12Result
+from repro.experiments.fig13_tiling import Fig13Result, TILE_VERSIONS
+
+
+def vr(program, version, l1_misses, l2_misses, refs=1000, flops=500):
+    return VersionResult(
+        program=program,
+        version=version,
+        result=SimulationResult(
+            total_refs=refs,
+            levels=(
+                LevelStats("L1", refs, l1_misses),
+                LevelStats("L2", l1_misses, l2_misses),
+            ),
+        ),
+        flops=flops,
+    )
+
+
+@pytest.fixture
+def hier():
+    return ultrasparc_i()
+
+
+class TestFig9Format:
+    def test_columns_and_rows(self, hier):
+        results = tuple(
+            vr("dot", v, 100 - 20 * i, 10)
+            for i, v in enumerate(F9V)
+        )
+        text = Fig9Result(hierarchy=hier, results=results).format()
+        assert "L1% orig" in text and "improv% L1&L2 Opt" in text
+        assert "dot" in text
+
+    def test_by_program_grouping(self, hier):
+        results = tuple(vr("p1", v, 10, 1) for v in F9V) + tuple(
+            vr("p2", v, 20, 2) for v in F9V
+        )
+        grouped = Fig9Result(hierarchy=hier, results=results).by_program()
+        assert set(grouped) == {"p1", "p2"}
+        assert set(grouped["p1"]) == set(F9V)
+
+
+class TestFig10Format:
+    def test_format(self, hier):
+        results = tuple(vr("expl", v, 50, 5) for v in F10V)
+        text = Fig10Result(hierarchy=hier, results=results).format()
+        assert "GROUPPAD" in text and "expl" in text
+
+
+class TestFig11Format:
+    def make(self, hier):
+        rows = [(250, 0.10, 0.05, 0.10, 0.04), (263, 0.11, 0.09, 0.11, 0.04)]
+        return Fig11Result(hierarchy=hier, series={"expl": rows})
+
+    def test_format(self, hier):
+        text = self.make(hier).format()
+        assert "expl" in text and "L2% (L1&L2 Opt)" in text
+
+    def test_cluster_gap(self, hier):
+        assert self.make(hier).l2_cluster_gap("expl") == pytest.approx(5.0)
+
+    def test_sweep_sizes_quick_vs_full(self):
+        full = sweep_sizes(False)
+        quick = sweep_sizes(True)
+        assert full[0] == quick[0] == 250
+        assert len(full) > len(quick)
+        assert full[1] - full[0] == 13  # the paper's tick spacing
+
+
+class TestFig12Format:
+    def test_format(self, hier):
+        r = Fig12Result(
+            hierarchy=hier,
+            rows=((250, 1, -3, 0.002, -0.008), (274, 2, -3, 0.004, -0.008)),
+        )
+        text = r.format()
+        assert "Δ memory refs" in text
+        assert "-3" in text
+
+
+class TestFig13Format:
+    def test_format_and_mean(self, hier):
+        series = {
+            v: [(100, 8, 8, 30.0 + i), (130, 8, 8, 31.0 + i)]
+            for i, v in enumerate(TILE_VERSIONS)
+        }
+        r = Fig13Result(hierarchy=hier, series=series)
+        text = r.format()
+        assert "Orig MFLOPS" in text and "L2 MFLOPS" in text
+        assert r.mean_mflops("L2") > r.mean_mflops("Orig")

@@ -1,0 +1,136 @@
+"""End-to-end checks of the paper's headline claims on reduced problems.
+
+Each test runs a figure's actual experiment harness at reduced sizes and
+asserts the *shape* of the result the paper reports -- who wins, what is
+flat, what never gets hurt.
+"""
+
+import pytest
+
+from repro.cache.config import ultrasparc_i
+from repro.experiments import fig9_pad, fig10_grouppad, fig11_sweep, fig12_fusion
+from repro.experiments import fig13_tiling
+
+
+@pytest.fixture(scope="module")
+def hier():
+    return ultrasparc_i()
+
+
+class TestFig9Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_pad.run(
+            quick=True,
+            programs=["dot", "expl", "jacobi", "shal", "applu", "wave5"],
+        )
+
+    def test_pad_fixes_dot_pingpong(self, result):
+        versions = result.by_program()["dot"]
+        assert versions["orig"].miss_rate("L1") == 1.0
+        assert versions["L1 Opt"].miss_rate("L1") <= 0.3
+
+    def test_l1_opt_captures_most_l2_benefit(self, result):
+        """The paper's core finding: PAD alone (unaware of L2) obtains an
+        L2 reduction similar to MULTILVLPAD's."""
+        for prog, versions in result.by_program().items():
+            orig = versions["orig"].miss_rate("L2")
+            l1 = versions["L1 Opt"].miss_rate("L2")
+            both = versions["L1&L2 Opt"].miss_rate("L2")
+            saved_l1 = orig - l1
+            saved_both = orig - both
+            assert saved_both <= saved_l1 + 0.02  # MULTILVLPAD adds little
+            # PAD never *meaningfully* hurts L2 (a few extra line
+            # crossings from the pads themselves are within noise, and the
+            # paper reports the same small degradations).
+            assert l1 <= orig + 0.005
+
+    def test_multilvl_does_not_hurt_l1(self, result):
+        for versions in result.by_program().values():
+            assert versions["L1&L2 Opt"].miss_rate("L1") <= (
+                versions["L1 Opt"].miss_rate("L1") + 0.01
+            )
+
+    def test_non_resonant_programs_unchanged(self, result):
+        versions = result.by_program()["wave5"]
+        assert versions["orig"].miss_rate("L1") == pytest.approx(
+            versions["L1 Opt"].miss_rate("L1")
+        )
+
+
+class TestFig10Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_grouppad.run(quick=True, programs=["expl", "jacobi", "shal"])
+
+    def test_l2maxpad_never_hurts_l1(self, result):
+        """'No inherent tradeoff exists between data transformations for
+        the L1 cache and L2 cache.'"""
+        for versions in result.by_program().values():
+            assert versions["L1&L2 Opt"].miss_rate("L1") == pytest.approx(
+                versions["L1 Opt"].miss_rate("L1"), abs=1e-12
+            )
+
+    def test_grouppad_improves_over_original(self, result):
+        for versions in result.by_program().values():
+            assert versions["L1 Opt"].miss_rate("L1") < versions["orig"].miss_rate("L1")
+
+
+class TestFig11Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_sweep.run(
+            programs=("expl",), sizes=[250, 302, 354, 406]
+        )
+
+    def test_l1_curves_identical_between_versions(self, result):
+        for n, l1_a, _, l1_b, _ in result.series["expl"]:
+            assert l1_a == pytest.approx(l1_b, abs=1e-12)
+
+    def test_l2_curve_flat_with_l2maxpad(self, result):
+        rates = [d for _, _, _, _, d in result.series["expl"]]
+        assert max(rates) - min(rates) < 0.01
+
+    def test_l1opt_l2_curve_never_below_l2opt(self, result):
+        for _, _, l2_l1opt, _, l2_both in result.series["expl"]:
+            assert l2_l1opt >= l2_both - 5e-3
+
+
+class TestFig12Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_fusion.run(sizes=[250, 334, 430])
+
+    def test_memory_savings_constant_negative(self, result):
+        mems = {row[2] for row in result.rows}
+        assert mems == {-3}
+
+    def test_l2_missrate_change_flat_and_negative(self, result):
+        changes = [row[4] for row in result.rows]
+        assert all(c < 0 for c in changes)
+        assert max(changes) - min(changes) < 0.01
+
+    def test_l1_change_tracks_l2_refs(self, result):
+        """'The change in the L1 miss rate varies closely in proportion to
+        the change in the number of L2 references.'"""
+        rows = sorted(result.rows, key=lambda r: r[1])
+        if rows[0][1] != rows[-1][1]:
+            assert rows[0][3] <= rows[-1][3] + 1e-9
+
+
+class TestFig13Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_tiling.run(sizes=[100, 180])
+
+    def test_l1_tiles_win(self, result):
+        """'We see L1-sized tiles yields the best performance.'"""
+        for v in ("Orig", "2xL1", "4xL1", "L2"):
+            assert result.mean_mflops("L1") >= result.mean_mflops(v) - 1e-9
+
+    def test_l2_tiles_useless_in_cache(self, result):
+        """'L2-sized tiles are of no use when the data already fits in L2
+        cache' -- at N=100 (240 KB total) they match the untiled code."""
+        orig = dict((r[0], r[3]) for r in result.series["Orig"])
+        l2 = dict((r[0], r[3]) for r in result.series["L2"])
+        assert l2[100] == pytest.approx(orig[100], rel=0.05)

@@ -1,0 +1,60 @@
+"""Column-major array declarations."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.arrays import ArrayDecl
+
+
+class TestGeometry:
+    def test_column_major_strides(self):
+        a = ArrayDecl("A", (10, 20, 30))
+        assert a.strides_bytes == (8, 80, 1600)
+        assert a.size_bytes == 10 * 20 * 30 * 8
+
+    def test_column_size_is_first_dim(self):
+        assert ArrayDecl("A", (512, 512)).column_size_bytes == 4096
+        assert ArrayDecl("V", (100,)).column_size_bytes == 800
+
+    def test_element_size_respected(self):
+        a = ArrayDecl("K", (8, 4), element_size=4)
+        assert a.strides_bytes == (4, 32)
+        assert a.size_bytes == 128
+
+    def test_rank_and_elements(self):
+        a = ArrayDecl("A", (3, 4))
+        assert a.rank == 2
+        assert a.num_elements == 12
+
+
+class TestOffsets:
+    def test_fortran_one_based(self):
+        a = ArrayDecl("A", (10, 10))
+        assert a.element_offset((1, 1)) == 0
+        assert a.element_offset((2, 1)) == 8
+        assert a.element_offset((1, 2)) == 80  # next column
+
+    def test_bounds_checked(self):
+        a = ArrayDecl("A", (10, 10))
+        with pytest.raises(IRError):
+            a.element_offset((0, 1))
+        with pytest.raises(IRError):
+            a.element_offset((11, 1))
+        with pytest.raises(IRError):
+            a.element_offset((1,))  # rank mismatch
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", shape=(4,)),
+            dict(name="A", shape=()),
+            dict(name="A", shape=(0,)),
+            dict(name="A", shape=(4, -1)),
+            dict(name="A", shape=(4,), element_size=0),
+        ],
+    )
+    def test_invalid_declarations(self, kwargs):
+        with pytest.raises(IRError):
+            ArrayDecl(**kwargs)

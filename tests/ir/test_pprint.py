@@ -1,0 +1,57 @@
+"""Fortran-style pretty printer."""
+
+from repro.ir.pprint import format_nest, format_program
+from repro.kernels import jacobi, linpackd, matmul
+from repro.transforms.tiling import tile_nest
+
+
+class TestFormatProgram:
+    def test_declarations_and_loops(self):
+        text = format_program(jacobi.build(16))
+        assert "real A(16,16)" in text
+        assert "do j = 2, 15" in text
+        assert "do i = 2, 15" in text
+        assert "A(i,j) = f(" in text
+        assert "! 4 flops" in text
+
+    def test_triangular_bounds_printed(self):
+        text = format_program(linpackd.build(8))
+        assert "do i = k + 1, 8" in text
+
+    def test_integer_arrays(self):
+        from repro.kernels import irr
+
+        text = format_program(irr.build(100))
+        assert "integer*4 EL(400)" in text
+
+    def test_read_only_statement(self):
+        from repro.kernels import dot
+
+        text = format_program(dot.build(32))
+        assert "... = f(Z(k), X(k))" in text
+
+
+class TestFormatNest:
+    def test_tiled_min_bounds(self):
+        prog = matmul.build(16)
+        tiled = tile_nest(prog.nests[0], [("k", 5), ("i", 4)])
+        text = format_nest(tiled)
+        assert "do kk = 1, 16, 5" in text
+        assert "min(" in text
+        assert text.count("do ") == 5
+
+    def test_max_bounds_from_timetile(self):
+        from repro.kernels import timestep
+        from repro.transforms.timetile import time_tile
+
+        prog = timestep.build(12, 2)
+        tiled = time_tile(prog.nests[0], "t", "j", block=4)
+        text = format_nest(tiled)
+        assert "max(" in text and "min(" in text
+
+    def test_indentation_nesting(self):
+        text = format_nest(jacobi.build(8).nests[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("do ")
+        assert lines[1].startswith("  do ")
+        assert lines[2].startswith("    ")

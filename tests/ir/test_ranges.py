@@ -1,0 +1,78 @@
+"""Interval evaluation over loop ranges."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.affine import const, var
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.refs import ArrayRef
+from repro.ir.ranges import affine_interval, canonical_env, loop_var_ranges
+
+
+class TestAffineInterval:
+    def test_positive_coefficient(self):
+        lo, hi = affine_interval(2 * var("i") + 1, {"i": (0, 10)})
+        assert (lo, hi) == (1, 21)
+
+    def test_negative_coefficient_flips(self):
+        lo, hi = affine_interval(-3 * var("i"), {"i": (1, 4)})
+        assert (lo, hi) == (-12, -3)
+
+    def test_mixed_terms(self):
+        lo, hi = affine_interval(var("i") - var("j"), {"i": (0, 5), "j": (2, 3)})
+        assert (lo, hi) == (-3, 3)
+
+    def test_constant(self):
+        assert affine_interval(const(7), {}) == (7, 7)
+
+    def test_missing_range_raises(self):
+        with pytest.raises(IRError):
+            affine_interval(var("i"), {})
+
+    def test_empty_range_raises(self):
+        with pytest.raises(IRError):
+            affine_interval(var("i"), {"i": (5, 4)})
+
+
+def make_nest(loops):
+    body = (Statement((ArrayRef("A", (var(loops[-1].var),)),)),)
+    return LoopNest(tuple(loops), body)
+
+
+class TestLoopVarRanges:
+    def test_rectangular(self):
+        nest = make_nest([Loop("j", const(2), const(9)), Loop("i", const(1), const(5))])
+        r = loop_var_ranges(nest)
+        assert r["j"] == (2, 9)
+        assert r["i"] == (1, 5)
+
+    def test_triangular(self):
+        nest = make_nest(
+            [Loop("k", const(1), const(10)), Loop("i", var("k") + 1, const(10))]
+        )
+        r = loop_var_ranges(nest)
+        assert r["k"] == (1, 10)
+        assert r["i"] == (2, 10)
+
+    def test_min_upper_bounds(self):
+        nest = make_nest(
+            [
+                Loop("ii", const(1), const(100), step=10),
+                Loop("i", var("ii"), var("ii") + 9, extra_uppers=(const(25),)),
+            ]
+        )
+        r = loop_var_ranges(nest)
+        assert r["i"] == (1, 25)
+
+    def test_negative_step(self):
+        nest = make_nest([Loop("i", const(10), const(1), step=-1)])
+        assert loop_var_ranges(nest)["i"] == (1, 10)
+
+
+class TestCanonicalEnv:
+    def test_lower_bounds_chain(self):
+        nest = make_nest(
+            [Loop("k", const(3), const(10)), Loop("i", var("k") + 2, const(10))]
+        )
+        env = canonical_env(nest)
+        assert env == {"k": 3, "i": 5}

@@ -1,0 +1,99 @@
+"""Static validation: bounds, dead arrays, empty loops."""
+
+import pytest
+
+from repro import ProgramBuilder
+from repro.errors import IRError
+from repro.ir.validate import check_program, validate_program
+from repro.kernels import KERNELS, get_kernel
+
+
+class TestBounds:
+    def test_out_of_bounds_detected_statically(self):
+        b = ProgramBuilder("oob")
+        A = b.array("A", (8, 8))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 1, 8), b.loop(i, 1, 8)],
+            [b.use(reads=[A[i, j + 1]])],  # j+1 reaches 9
+        )
+        prog = b.build()
+        errors = [f for f in validate_program(prog) if f.severity == "error"]
+        assert errors and "spans" in errors[0].message
+        with pytest.raises(IRError):
+            check_program(prog)
+
+    def test_below_lower_bound_detected(self):
+        b = ProgramBuilder("lb")
+        A = b.array("A", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 8)], [b.use(reads=[A[i - 1]])])  # reaches 0
+        assert any(
+            f.severity == "error" for f in validate_program(b.build())
+        )
+
+    def test_clean_program_passes(self):
+        b = ProgramBuilder("ok")
+        A = b.array("A", (8,))
+        Bm = b.array("B", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 2, 7)], [b.assign(Bm[i], reads=[A[i - 1], A[i + 1]])])
+        prog = b.build()
+        check_program(prog)  # no raise
+        assert all(f.severity != "error" for f in validate_program(prog))
+
+    def test_triangular_bounds_validated(self):
+        from repro.kernels import linpackd
+
+        check_program(linpackd.build(16))
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_kernels_statically_clean(self, name):
+        sizes = {
+            "adi32": 8, "dot": 64, "erle64": 8, "expl": 12, "irr500k": 64,
+            "jacobi": 12, "linpackd": 10, "shal": 12, "appbt": 12,
+            "applu": 12, "appsp": 12, "buk": 64, "cgm": 64, "embar": 64,
+            "fftpde": 8, "mgrid": 8, "apsi": 12, "fpppp": 6, "hydro2d": 12,
+            "su2cor": 12, "swim": 12, "tomcatv": 12, "turb3d": 8,
+            "wave5": 64, "matmul": 6, "timestep": 12,
+        }
+        prog = get_kernel(name).program(sizes[name])
+        check_program(prog)  # every kernel passes static bounds checking
+
+
+class TestWarnings:
+    def test_dead_array_warned(self):
+        b = ProgramBuilder("dead")
+        A = b.array("A", (8,))
+        b.array("ZOMBIE", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 8)], [b.use(reads=[A[i]])])
+        warnings = [f.message for f in validate_program(b.build())]
+        assert any("ZOMBIE" in w and "never referenced" in w for w in warnings)
+
+    def test_write_only_array_warned(self):
+        b = ProgramBuilder("wo")
+        A = b.array("A", (8,))
+        Bm = b.array("B", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 8)], [b.assign(A[i], reads=[Bm[i]])])
+        warnings = [f.message for f in validate_program(b.build())]
+        assert any("written but never read" in w for w in warnings)
+
+    def test_empty_nest_warned(self):
+        b = ProgramBuilder("empty")
+        A = b.array("A", (8,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 5, 4)], [b.use(reads=[A[i]])])
+        findings = validate_program(b.build())
+        assert any("never executes" in f.message for f in findings)
+
+    def test_findings_sorted_errors_first(self):
+        b = ProgramBuilder("mix")
+        A = b.array("A", (4,))
+        b.array("DEAD", (4,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 5)], [b.use(reads=[A[i]])])  # error: i reaches 5
+        findings = validate_program(b.build())
+        assert findings[0].severity == "error"
+        assert str(findings[0]).startswith("[error]")

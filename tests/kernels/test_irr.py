@@ -1,0 +1,54 @@
+"""IRR's custom trace generator (the irregular-mesh substitution)."""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout
+from repro.kernels import irr
+from repro.kernels.registry import get_kernel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prog = irr.build(2000)
+    return prog, DataLayout.sequential(prog)
+
+
+class TestIrrTrace:
+    def test_deterministic_given_seed(self, setup):
+        prog, lay = setup
+        t1 = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1)))
+        t2 = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1)))
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_different_seed_differs(self, setup):
+        prog, lay = setup
+        t1 = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1, seed=1)))
+        t2 = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1, seed=2)))
+        assert not np.array_equal(t1, t2)
+
+    def test_addresses_inside_declared_arrays(self, setup):
+        prog, lay = setup
+        trace = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1)))
+        assert trace.min() >= 0
+        assert trace.max() < lay.total_bytes
+
+    def test_padding_shifts_gather_targets(self, setup):
+        prog, lay = setup
+        shifted = lay.add_pad("Y", 4096)
+        t0 = np.concatenate(list(irr.trace_chunks(prog, lay, sweeps=1)))
+        t1 = np.concatenate(list(irr.trace_chunks(prog, shifted, sweeps=1)))
+        assert t0.size == t1.size
+        assert (t1 >= t0).all() and (t1 != t0).any()
+
+    def test_registry_uses_custom_hook(self, setup):
+        prog, lay = setup
+        kernel = get_kernel("irr500k")
+        assert kernel.custom_trace is not None
+        chunks = list(kernel.trace_chunks(prog, lay))
+        assert sum(c.size for c in chunks) > 0
+
+    def test_edge_count_scales(self):
+        e1 = irr._edges(1000)
+        assert e1.shape == (irr.EDGE_FACTOR * 1000, 2)
+        assert e1.min() >= 0 and e1.max() < 1000

@@ -1,0 +1,96 @@
+"""Severe-conflict detection."""
+
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.layout.conflicts import (
+    delta_interval,
+    interval_conflicts_with_cache,
+    nest_severe_conflicts,
+    program_severe_conflicts,
+)
+
+CACHE, LINE = 1024, 32
+
+
+def two_vector_program(n, gap_arrays=0):
+    b = ProgramBuilder("p")
+    X = b.array("X", (n,))
+    Y = b.array("Y", (n,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.assign(Y[i], reads=[X[i]], flops=1)])
+    return b.build()
+
+
+class TestIntervalPredicate:
+    def test_constant_zero_delta_conflicts(self):
+        assert interval_conflicts_with_cache(0, 0, CACHE, LINE)
+
+    def test_constant_exact_cache_multiple_conflicts(self):
+        assert interval_conflicts_with_cache(3 * CACHE, 3 * CACHE, CACHE, LINE)
+        assert interval_conflicts_with_cache(-2 * CACHE + 5, -2 * CACHE + 5, CACHE, LINE)
+
+    def test_constant_just_outside_line_is_clean(self):
+        assert not interval_conflicts_with_cache(LINE, LINE, CACHE, LINE)
+        assert interval_conflicts_with_cache(LINE - 1, LINE - 1, CACHE, LINE)
+
+    def test_wraparound_distance(self):
+        # CACHE - 1 is circularly 1 away from 0: conflict.
+        assert interval_conflicts_with_cache(CACHE - 1, CACHE - 1, CACHE, LINE)
+
+    def test_range_containing_multiple_conflicts(self):
+        assert interval_conflicts_with_cache(CACHE - 100, CACHE + 100, CACHE, LINE)
+
+    def test_range_between_multiples_is_clean(self):
+        assert not interval_conflicts_with_cache(100, 900, CACHE, LINE)
+
+
+class TestProgramConflicts:
+    def test_resonant_arrays_conflict(self):
+        # X is exactly one cache in size: X and Y coincide on the cache.
+        prog = two_vector_program(CACHE // 8)
+        lay = DataLayout.sequential(prog)
+        report = program_severe_conflicts(prog, lay, CACHE, LINE)
+        assert report.count == 1
+        assert report.pairs[0].fixable
+        assert not report.is_clean
+
+    def test_padding_clears_conflict(self):
+        prog = two_vector_program(CACHE // 8)
+        lay = DataLayout.sequential(prog).add_pad("Y", LINE)
+        assert program_severe_conflicts(prog, lay, CACHE, LINE).is_clean
+
+    def test_non_resonant_arrays_clean(self):
+        prog = two_vector_program(CACHE // 8 + 16)  # 1152 B arrays
+        lay = DataLayout.sequential(prog)
+        assert program_severe_conflicts(prog, lay, CACHE, LINE).is_clean
+
+    def test_same_array_pairs_excluded(self):
+        b = ProgramBuilder("p")
+        A = b.array("A", (CACHE // 8, 4))
+        i, j = b.vars("i", "j")
+        b.nest(
+            [b.loop(j, 2, 3), b.loop(i, 1, CACHE // 8)],
+            [b.assign(A[i, j], reads=[A[i, j - 1]], flops=1)],
+        )
+        prog = b.build()
+        lay = DataLayout.sequential(prog)
+        # Columns of A collide (column == cache) but that is intra-variable
+        # padding's business, not PAD's.
+        assert program_severe_conflicts(prog, lay, CACHE, LINE).is_clean
+
+    def test_delta_interval_constant_pair(self):
+        prog = two_vector_program(CACHE // 8)
+        lay = DataLayout.sequential(prog)
+        nest = prog.nests[0]
+        x_ref = nest.refs[0]
+        y_ref = nest.refs[1]
+        lo, hi = delta_interval(prog, lay, nest, y_ref, x_ref)
+        assert lo == hi == CACHE  # Y sits one cache above X
+
+    def test_nest_conflicts_report_pair_members(self):
+        prog = two_vector_program(CACHE // 8)
+        lay = DataLayout.sequential(prog)
+        pairs = nest_severe_conflicts(prog, lay, prog.nests[0], CACHE, LINE)
+        arrays = {pairs[0].ref_a.array, pairs[0].ref_b.array}
+        assert arrays == {"X", "Y"}

@@ -1,0 +1,97 @@
+"""Cache-layout diagrams: the paper's Figures 3, 4 in executable form."""
+
+import pytest
+
+from repro import CacheDiagram, DataLayout, ProgramBuilder
+from tests.conftest import build_fig2
+
+CACHE = 16 * 1024
+LINE = 32
+
+
+class TestFig2Diagrams:
+    """The paper's running example with the cache 'slightly more than
+    double the common column size' (Figure 3): columns of 8 KB-ish on a
+    16 KB cache."""
+
+    def make(self, n=2048):
+        # n=2048 -> column 16 KB == cache (degenerate, arcs unexploitable);
+        # n=896 -> column 7 KB, cache a bit over 2x the column (Figure 3).
+        prog = build_fig2(n)
+        return prog, DataLayout.sequential(prog)
+
+    def test_nest1_has_three_arcs(self):
+        prog, lay = self.make(896)
+        d = CacheDiagram(prog, lay, prog.nests[0], CACHE, LINE)
+        assert d.arc_count == 3  # A, B, C column arcs
+
+    def test_nest2_has_two_b_arcs(self):
+        prog, lay = self.make(896)
+        d = CacheDiagram(prog, lay, prog.nests[1], CACHE, LINE)
+        b_arcs = [a for a in d.arcs if a.reuse.array == "B"]
+        assert len(b_arcs) == 2
+
+    def test_cache_cannot_hold_three_columns(self):
+        """Figure 4's point: exploiting all three arcs of nest 1 'would
+        require a cache size three times the column size' (3 x 7 KB >
+        16 KB), so no layout exploits all three."""
+        prog, lay = self.make(896)
+        best = 0
+        for pad_b in range(0, CACHE, 1024):
+            for pad_c in range(0, CACHE, 1024):
+                d = CacheDiagram(
+                    prog, lay.with_pads({"B": pad_b, "C": pad_c}),
+                    prog.nests[0], CACHE, LINE,
+                )
+                best = max(best, d.exploited_count)
+        assert 1 <= best <= 2
+
+    def test_arc_longer_than_cache_never_exploited(self):
+        prog, lay = self.make(2080)  # column 16.25 KB > cache
+        d = CacheDiagram(prog, lay, prog.nests[0], CACHE, LINE)
+        assert d.exploited_count == 0
+
+    def test_dot_under_arc_blocks_reuse(self):
+        # Place B's base right in the middle of A's arc: A's reuse dies.
+        prog, lay = self.make(896)
+        col = 896 * 8
+        sab = lay.with_pad("B", 0)
+        diag_clear = CacheDiagram(
+            prog, sab.with_pads({"B": (CACHE - (col * 2) % CACHE) % CACHE}),
+            prog.nests[0], CACHE, LINE,
+        )
+        # With B far away, A's arc can be exploited.
+        a_arcs = [a for a in diag_clear.arcs if a.reuse.array == "A"]
+        assert a_arcs
+
+
+class TestDiagramMechanics:
+    def test_duplicate_refs_collapse_to_one_dot(self):
+        b = ProgramBuilder("dup")
+        A = b.array("A", (64,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 64)], [b.use(reads=[A[i], A[i]], flops=1)])
+        prog = b.build()
+        d = CacheDiagram(prog, DataLayout.sequential(prog), prog.nests[0], 1024)
+        assert len(d.dots) == 1
+        assert d.dots[0].multiplicity == 2
+
+    def test_render_ascii_shape(self):
+        prog = build_fig2(96)
+        lay = DataLayout.sequential(prog)
+        text = CacheDiagram(prog, lay, prog.nests[0], CACHE, LINE).render_ascii()
+        assert text.startswith("[")
+        assert "arc" in text
+
+    def test_invalid_cache_size(self):
+        prog = build_fig2(32)
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            CacheDiagram(prog, DataLayout.sequential(prog), prog.nests[0], 0)
+
+    def test_exploited_trailing_refs_reported(self):
+        prog = build_fig2(96)  # tiny columns: plenty of cache room
+        lay = DataLayout.sequential(prog)
+        d = CacheDiagram(prog, lay, prog.nests[0], CACHE, LINE)
+        assert d.exploited_count == len(d.trailing_refs_exploited())

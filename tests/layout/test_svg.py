@@ -1,0 +1,60 @@
+"""SVG rendering of layout diagrams."""
+
+import xml.etree.ElementTree as ET
+
+from repro import CacheDiagram, DataLayout
+from repro.layout.svg import diagram_svg, diagrams_svg
+from tests.conftest import build_fig2
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def make_diagram(n=896):
+    prog = build_fig2(n)
+    lay = DataLayout.sequential(prog)
+    return prog, lay, CacheDiagram(prog, lay, prog.nests[0], 16 * 1024, 32)
+
+
+class TestDiagramSVG:
+    def test_well_formed_xml(self):
+        _, _, d = make_diagram()
+        root = ET.fromstring(diagram_svg(d))
+        assert root.tag == f"{NS}svg"
+
+    def test_one_circle_per_dot_plus_legend(self):
+        _, _, d = make_diagram()
+        root = ET.fromstring(diagram_svg(d))
+        circles = root.findall(f".//{NS}circle")
+        arrays = {dot.ref.array for dot in d.dots}
+        assert len(circles) == len(d.dots) + len(arrays)  # dots + legend keys
+
+    def test_one_path_per_arc(self):
+        _, _, d = make_diagram()
+        root = ET.fromstring(diagram_svg(d))
+        paths = root.findall(f".//{NS}path")
+        assert len(paths) == d.arc_count
+
+    def test_lost_arcs_dashed(self):
+        _, _, d = make_diagram(2080)  # arcs longer than the cache: all lost
+        root = ET.fromstring(diagram_svg(d))
+        for p in root.findall(f".//{NS}path"):
+            assert p.get("stroke-dasharray")
+
+    def test_title_escaped(self):
+        _, _, d = make_diagram()
+        svg = diagram_svg(d, title="a <b> & c")
+        assert "&lt;b&gt;" in svg and "&amp;" in svg
+
+    def test_summary_text_present(self):
+        _, _, d = make_diagram()
+        svg = diagram_svg(d)
+        assert f"{d.exploited_count}/{d.arc_count} arcs exploited" in svg
+
+
+class TestProgramSVG:
+    def test_stacks_all_nests(self):
+        prog, lay, _ = make_diagram()
+        svg = diagrams_svg(prog, lay, 16 * 1024, 32)
+        root = ET.fromstring(svg)
+        groups = root.findall(f"{NS}g")
+        assert len(groups) == len(prog.nests)

@@ -1,0 +1,64 @@
+"""Property tests of the paper's modular-arithmetic lemmas (hypothesis).
+
+Section 3.1.2 (MULTILVLPAD's validity): "If two references maintain a
+distance of at least Lmax on a cache of size S1, then the distance must be
+equal or greater on a cache of size k*S1."
+
+Section 5 (tiling): "tiles with no L1 self-interference conflict misses
+will also have no L2 conflicts."
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.tilesize import max_conflict_free_height
+from repro.util.mathutil import circular_distance
+
+S1 = 16 * 1024
+
+
+class TestPaddingLemma:
+    @given(
+        delta=st.integers(min_value=-(1 << 24), max_value=1 << 24),
+        k=st.integers(min_value=1, max_value=64),
+        lmax=st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_separation_survives_larger_caches(self, delta, k, lmax):
+        """distance(delta mod S1) >= Lmax  =>  distance(delta mod k*S1) >= Lmax."""
+        d_small = circular_distance(delta % S1, 0, S1)
+        d_large = circular_distance(delta % (k * S1), 0, k * S1)
+        if d_small >= lmax:
+            assert d_large >= lmax
+
+    @given(
+        delta=st.integers(min_value=-(1 << 24), max_value=1 << 24),
+        k=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_distance_monotone_in_cache_size(self, delta, k):
+        """The distance can only grow (or stay) on the larger cache."""
+        assert circular_distance(delta % (k * S1), 0, k * S1) >= circular_distance(
+            delta % S1, 0, S1
+        ) or k == 1
+
+    @given(delta=st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=200, deadline=None)
+    def test_circular_distance_symmetry(self, delta):
+        assert circular_distance(delta % S1, 0, S1) == circular_distance(
+            (-delta) % S1, 0, S1
+        )
+
+
+class TestTilingLemma:
+    @given(
+        col=st.integers(min_value=64, max_value=1 << 16),
+        width=st.integers(min_value=1, max_value=32),
+        factor=st.sampled_from([2, 4, 8, 32]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_l1_height_valid_on_l2(self, col, width, factor):
+        """Any height conflict-free on S1 is conflict-free on k*S1."""
+        h1 = max_conflict_free_height(col, S1, width, 8)
+        h2 = max_conflict_free_height(col, factor * S1, width, 8)
+        assert h2 >= h1

@@ -1,0 +1,60 @@
+"""Property tests: trace generator vs interpreter on random programs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataLayout, ProgramBuilder
+from repro.trace.generator import generate_trace
+from repro.trace.interpreter import interpret_program
+
+
+@st.composite
+def random_program(draw):
+    """A random 2-deep rectangular nest over 1-2 arrays with small offsets."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    m = draw(st.integers(min_value=4, max_value=12))
+    narrays = draw(st.integers(min_value=1, max_value=3))
+    b = ProgramBuilder("rand")
+    handles = [b.array(f"A{k}", (n + 2, m + 2)) for k in range(narrays)]
+    i, j = b.vars("i", "j")
+    stmts = []
+    nstmts = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(nstmts):
+        reads = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            h = handles[draw(st.integers(0, narrays - 1))]
+            di = draw(st.integers(-1, 1))
+            dj = draw(st.integers(-1, 1))
+            reads.append(h[i + 1 + di, j + 1 + dj])
+        stmts.append(b.use(reads=reads, flops=1))
+    step_j = draw(st.sampled_from([1, 2]))
+    b.nest([b.loop(j, 1, m, step=step_j), b.loop(i, 1, n)], stmts)
+    return b.build()
+
+
+class TestGeneratorEquivalence:
+    @given(prog=random_program(), pad=st.integers(0, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_generator_equals_interpreter(self, prog, pad):
+        layout = DataLayout.sequential(prog)
+        if pad and len(layout.order) > 1:
+            layout = layout.add_pad(layout.order[-1], pad)
+        np.testing.assert_array_equal(
+            generate_trace(prog, layout),
+            interpret_program(prog, layout, check_bounds=False),
+        )
+
+    @given(prog=random_program(), chunk=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_chunking_invariance(self, prog, chunk):
+        layout = DataLayout.sequential(prog)
+        full = generate_trace(prog, layout)
+        chunked = generate_trace(prog, layout, max_chunk_refs=chunk)
+        np.testing.assert_array_equal(full, chunked)
+
+    @given(prog=random_program())
+    @settings(max_examples=30, deadline=None)
+    def test_ref_count_matches_static_count(self, prog):
+        layout = DataLayout.sequential(prog)
+        assert generate_trace(prog, layout).size == prog.total_refs()

@@ -1,0 +1,108 @@
+"""Property tests: reordering transforms preserve the access multiset.
+
+Every pure reordering transform (tiling, unrolling, fusion+distribution
+roundtrips, time tiling) must leave the multiset of touched addresses
+unchanged -- only the order may differ.  Hypothesis drives the shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataLayout, ProgramBuilder
+from repro.trace.generator import generate_trace
+from repro.transforms.distribution import distribute_nest
+from repro.transforms.fusion import fuse_nests
+from repro.transforms.tiling import tile_nest
+from repro.transforms.timetile import time_tile
+from repro.transforms.unroll import unroll
+
+
+def matmul_like(n):
+    b = ProgramBuilder("mm")
+    A = b.array("A", (n, n))
+    Bm = b.array("B", (n, n))
+    C = b.array("C", (n, n))
+    i, j, k = b.vars("i", "j", "k")
+    b.nest(
+        [b.loop(j, 1, n), b.loop(k, 1, n), b.loop(i, 1, n)],
+        [b.assign(C[i, j], reads=[C[i, j], A[i, k], Bm[k, j]], flops=2)],
+    )
+    return b.build()
+
+
+def multi_statement(n, nstmts):
+    b = ProgramBuilder("ms")
+    handles = [b.array(f"A{s}", (n,)) for s in range(nstmts + 1)]
+    (i,) = b.vars("i")
+    b.nest(
+        [b.loop(i, 1, n)],
+        [
+            b.assign(handles[s][i], reads=[handles[s + 1][i]], flops=1)
+            for s in range(nstmts)
+        ],
+    )
+    return b.build()
+
+
+def sorted_trace(prog):
+    return np.sort(generate_trace(prog, DataLayout.sequential(prog)))
+
+
+class TestMultisetPreservation:
+    @given(
+        n=st.integers(4, 10),
+        tw=st.integers(1, 12),
+        th=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tiling(self, n, tw, th):
+        prog = matmul_like(n)
+        tiled = prog.with_nests(
+            [tile_nest(prog.nests[0], [("k", tw), ("i", th)])]
+        )
+        np.testing.assert_array_equal(sorted_trace(prog), sorted_trace(tiled))
+
+    @given(n=st.sampled_from([6, 8, 12]), factor=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=20, deadline=None)
+    def test_unroll(self, n, factor):
+        if n % factor:
+            return
+        prog = matmul_like(n)
+        unrolled = prog.with_nests([unroll(prog.nests[0], "k", factor)])
+        np.testing.assert_array_equal(
+            sorted_trace(prog), sorted_trace(unrolled)
+        )
+
+    @given(n=st.integers(3, 10), nstmts=st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_distribute_then_fuse_roundtrip(self, n, nstmts):
+        prog = multi_statement(n, nstmts)
+        split = distribute_nest(prog, 0)
+        assert len(split.nests) == nstmts
+        refused = split
+        while len(refused.nests) > 1:
+            refused = fuse_nests(refused, 0, 1, check="none")
+        np.testing.assert_array_equal(sorted_trace(prog), sorted_trace(refused))
+        assert refused.nests[0].body == prog.nests[0].body
+
+    @given(
+        n=st.integers(6, 14),
+        t=st.integers(2, 4),
+        block=st.integers(1, 8),
+        skew=st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_time_tile(self, n, t, block, skew):
+        b = ProgramBuilder("ts")
+        A = b.array("A", (n, n))
+        i, j, tt = b.vars("i", "j", "t")
+        b.nest(
+            [b.loop(tt, 1, t), b.loop(j, 2, n - 1), b.loop(i, 1, n)],
+            [b.assign(A[i, j], reads=[A[i, j - 1]], flops=1)],
+        )
+        prog = b.build()
+        tiled = prog.with_nests(
+            [time_tile(prog.nests[0], "t", "j", block=block, skew=skew)]
+        )
+        np.testing.assert_array_equal(sorted_trace(prog), sorted_trace(tiled))

@@ -1,0 +1,82 @@
+"""Odds and ends of the public API that deserve direct pinning."""
+
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.ir.affine import const, var
+from repro.ir.loops import LoopNest, Statement
+from repro.ir.refs import ArrayRef
+
+
+def prog():
+    b = ProgramBuilder("p")
+    A = b.array("A", (10,))
+    Bm = b.array("B", (10,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, 10)], [b.assign(Bm[i], reads=[A[i]], flops=1)])
+    return b.build()
+
+
+class TestLayoutOddsAndEnds:
+    def test_end_is_base_plus_size(self):
+        lay = DataLayout.sequential(prog())
+        assert lay.end("A") == lay.base("A") + 80
+        assert lay.end("B") == lay.base("B") + 80
+
+    def test_bases_dict_matches_base(self):
+        lay = DataLayout.sequential(prog()).add_pad("B", 32)
+        bases = lay.bases()
+        for name in lay.order:
+            assert bases[name] == lay.base(name)
+
+    def test_origin_must_be_nonnegative(self):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            DataLayout(order=("A",), pads=(0,), sizes=(8,), origin=-1)
+
+
+class TestProgramOddsAndEnds:
+    def test_refs_iterator_covers_all_nests(self):
+        p = prog()
+        assert len(list(p.refs())) == 2
+
+    def test_with_loops_with_body(self):
+        p = prog()
+        nest = p.nests[0]
+        same = nest.with_loops(nest.loops)
+        assert same == nest
+        rebodied = nest.with_body(
+            (Statement((ArrayRef("A", (var("i"),)),)),)
+        )
+        assert rebodied.refs_per_iteration == 1
+
+    def test_innermost(self):
+        p = prog()
+        assert p.nests[0].innermost().var == "i"
+
+
+class TestAffineReprEdges:
+    def test_negative_constant_repr(self):
+        assert repr(var("i") - 3) == "i - 3"
+
+    def test_coefficient_repr(self):
+        assert repr(3 * var("i")) == "3*i"
+        assert repr(-var("j")) == "-j"
+
+    def test_constant_only(self):
+        assert repr(const(-5)) == "-5"
+
+
+class TestKernelTraceDefaultPath:
+    def test_affine_kernel_uses_generator(self):
+        import numpy as np
+
+        from repro.kernels.registry import get_kernel
+        from repro.trace.generator import generate_trace
+
+        k = get_kernel("jacobi")
+        p = k.program(12)
+        lay = DataLayout.sequential(p)
+        via_hook = np.concatenate(list(k.trace_chunks(p, lay)))
+        np.testing.assert_array_equal(via_hook, generate_trace(p, lay))

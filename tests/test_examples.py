@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts must run and print their story.
+
+Only the light examples run here (the sweep examples take minutes at
+full size and are exercised through their underlying experiments).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+LIGHT_EXAMPLES = {
+    "quickstart.py": "PAD moves Z one L1 line away",
+    "padding_diagrams.py": "group-reuse arcs exploited",
+    "render_diagrams.py": "wrote",
+}
+
+
+@pytest.mark.parametrize("script,needle", sorted(LIGHT_EXAMPLES.items()))
+def test_example_runs(tmp_path, script, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # artifacts (SVGs) land in a scratch dir
+    )
+    assert result.returncode == 0, result.stderr
+    assert needle in result.stdout
+
+
+def test_examples_inventory():
+    """Every example advertised by the README exists."""
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme or script.name == "render_diagrams.py"

@@ -1,0 +1,37 @@
+"""Top-level simulate_program / simulate_nest API."""
+
+import pytest
+
+from repro import DataLayout, simulate_nest, simulate_program, ultrasparc_i
+from tests.conftest import build_fig2
+
+
+class TestSimulateProgram:
+    def test_matches_per_nest_sum(self):
+        hier = ultrasparc_i()
+        prog = build_fig2(128)
+        lay = DataLayout.sequential(prog)
+        whole = simulate_program(prog, lay, hier)
+        assert whole.total_refs == prog.total_refs()
+
+    def test_simulate_nest_cold(self):
+        hier = ultrasparc_i()
+        prog = build_fig2(128)
+        lay = DataLayout.sequential(prog)
+        r0 = simulate_nest(prog, lay, 0, hier)
+        r1 = simulate_nest(prog, lay, 1, hier)
+        assert r0.total_refs == prog.nests[0].iterations() * 6
+        assert r1.total_refs == prog.nests[1].iterations() * 4
+
+    def test_chunk_size_invariance(self):
+        hier = ultrasparc_i()
+        prog = build_fig2(96)
+        lay = DataLayout.sequential(prog)
+        a = simulate_program(prog, lay, hier, max_chunk_refs=100)
+        b = simulate_program(prog, lay, hier)
+        assert a == b
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,74 @@
+"""Utility helpers: modular arithmetic and table formatting."""
+
+import pytest
+
+from repro.util.mathutil import (
+    ceil_div,
+    circular_distance,
+    gcd_list,
+    is_power_of_two,
+    next_multiple,
+    round_to_multiple,
+)
+from repro.util.tabulate import format_table
+
+
+class TestMathUtil:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+        assert ceil_div(-1, 5) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(16384)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(24)
+        assert not is_power_of_two(-4)
+
+    def test_next_multiple(self):
+        assert next_multiple(100, 32) == 128
+        assert next_multiple(128, 32) == 128
+        with pytest.raises(ValueError):
+            next_multiple(10, 0)
+
+    def test_round_to_multiple(self):
+        assert round_to_multiple(100, 32) == 96
+        assert round_to_multiple(112, 32) == 128  # ties round up
+        assert round_to_multiple(120, 32) == 128
+
+    def test_circular_distance(self):
+        assert circular_distance(0, 0, 1024) == 0
+        assert circular_distance(10, 1020, 1024) == 14
+        assert circular_distance(512, 0, 1024) == 512
+        with pytest.raises(ValueError):
+            circular_distance(1, 2, 0)
+
+    def test_gcd_list(self):
+        assert gcd_list([12, 18, 24]) == 6
+        assert gcd_list([]) == 0
+        assert gcd_list([7]) == 7
+
+
+class TestTabulate:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "v"], [["a", 1.5], ["bb", 2.25]])
+        lines = text.splitlines()
+        assert lines[0].endswith("v")
+        assert "1.50" in text and "2.25" in text
+
+    def test_title_underlined(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], floatfmt=".4f")
+        assert "3.1416" in text

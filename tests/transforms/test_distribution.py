@@ -1,0 +1,102 @@
+"""Loop distribution (fission)."""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.errors import TransformError
+from repro.trace.generator import generate_trace
+from repro.transforms.distribution import can_distribute, distribute_nest
+from repro.transforms.fusion import fuse_nests
+
+
+def three_statement_program(n=12):
+    b = ProgramBuilder("three")
+    A = b.array("A", (n,))
+    Bm = b.array("B", (n,))
+    C = b.array("C", (n,))
+    X = b.array("X", (n,))
+    (i,) = b.vars("i")
+    b.nest(
+        [b.loop(i, 1, n)],
+        [
+            b.assign(A[i], reads=[X[i]], flops=1, label="s0"),
+            b.assign(Bm[i], reads=[X[i]], flops=1, label="s1"),
+            b.assign(C[i], reads=[X[i]], flops=1, label="s2"),
+        ],
+    )
+    return b.build()
+
+
+class TestDistribute:
+    def test_maximal_distribution(self):
+        prog = three_statement_program()
+        out = distribute_nest(prog, 0)
+        assert len(out.nests) == 3
+        for nest in out.nests:
+            assert len(nest.body) == 1
+
+    def test_grouped_distribution(self):
+        prog = three_statement_program()
+        out = distribute_nest(prog, 0, groups=[[0, 1], [2]])
+        assert len(out.nests) == 2
+        assert len(out.nests[0].body) == 2
+
+    def test_preserves_access_multiset(self):
+        prog = three_statement_program()
+        lay = DataLayout.sequential(prog)
+        out = distribute_nest(prog, 0)
+        np.testing.assert_array_equal(
+            np.sort(generate_trace(prog, lay)),
+            np.sort(generate_trace(out, lay)),
+        )
+
+    def test_roundtrip_with_fusion(self):
+        prog = three_statement_program()
+        split = distribute_nest(prog, 0, groups=[[0], [1, 2]])
+        refused = fuse_nests(split, 0, 1)
+        assert refused.nests[0].body == prog.nests[0].body
+
+    def test_reordering_rejected(self):
+        prog = three_statement_program()
+        with pytest.raises(TransformError):
+            distribute_nest(prog, 0, groups=[[1], [0], [2]])
+
+    def test_incomplete_partition_rejected(self):
+        prog = three_statement_program()
+        with pytest.raises(TransformError):
+            distribute_nest(prog, 0, groups=[[0], [1]])
+
+
+class TestLegality:
+    def backward_dep_program(self):
+        """s1 reads A(i+1), which s0 writes at a later iteration: splitting
+        s0 | s1 changes the values s1 sees."""
+        b = ProgramBuilder("bd")
+        A = b.array("A", (14,))
+        Bm = b.array("B", (14,))
+        (i,) = b.vars("i")
+        b.nest(
+            [b.loop(i, 1, 12)],
+            [
+                b.assign(A[i], reads=[Bm[i]], flops=1, label="s0"),
+                b.assign(Bm[i], reads=[A[i + 1]], flops=1, label="s1"),
+            ],
+        )
+        return b.build()
+
+    def test_backward_dependence_blocks_split(self):
+        prog = self.backward_dep_program()
+        assert not can_distribute(prog, prog.nests[0], [[0], [1]])
+        with pytest.raises(TransformError):
+            distribute_nest(prog, 0)
+        out = distribute_nest(prog, 0, check="none")
+        assert len(out.nests) == 2
+
+    def test_independent_statements_legal(self):
+        prog = three_statement_program()
+        assert can_distribute(prog, prog.nests[0], [[0], [1], [2]])
+
+    def test_bad_groups_not_distributable(self):
+        prog = three_statement_program()
+        assert not can_distribute(prog, prog.nests[0], [[0]])

@@ -1,0 +1,109 @@
+"""Strip-mining and tiling."""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.errors import TransformError
+from repro.kernels import matmul
+from repro.trace.generator import generate_trace
+from repro.trace.interpreter import interpret_program
+from repro.transforms.tiling import strip_mine, tile_nest
+
+
+def matmul_program(n=10):
+    return matmul.build(n)
+
+
+class TestStripMine:
+    def test_structure(self):
+        prog = matmul_program()
+        got = strip_mine(prog.nests[0], "i", 4)
+        assert got.loop_vars == ("j", "k", "ii", "i")
+        tile_loop = got.loops[2]
+        assert tile_loop.step == 4
+        elem_loop = got.loops[3]
+        assert elem_loop.lower.depends_on("ii")
+        assert elem_loop.extra_uppers  # the min(.., N) clip
+
+    def test_preserves_iteration_multiset(self):
+        prog = matmul_program(7)
+        lay = DataLayout.sequential(prog)
+        mined = prog.with_nests([strip_mine(prog.nests[0], "i", 3)])
+        np.testing.assert_array_equal(
+            np.sort(generate_trace(prog, lay)),
+            np.sort(generate_trace(mined, lay)),
+        )
+
+    def test_non_dividing_tile_size(self):
+        # 10 iterations, tile 3: 3+3+3+1.
+        prog = matmul_program(10)
+        mined = prog.with_nests([strip_mine(prog.nests[0], "i", 3)])
+        assert mined.nests[0].iterations() == prog.nests[0].iterations()
+
+    def test_tile_larger_than_trip_count(self):
+        prog = matmul_program(5)
+        mined = prog.with_nests([strip_mine(prog.nests[0], "k", 100)])
+        assert mined.nests[0].iterations() == prog.nests[0].iterations()
+
+    def test_name_collision_rejected(self):
+        prog = matmul_program()
+        with pytest.raises(TransformError):
+            strip_mine(prog.nests[0], "i", 4, outer_name="j")
+
+    def test_non_unit_step_rejected(self):
+        b = ProgramBuilder("s2")
+        A = b.array("A", (16,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 16, step=2)], [b.use(reads=[A[i]])])
+        prog = b.build()
+        with pytest.raises(TransformError):
+            strip_mine(prog.nests[0], "i", 4)
+
+    def test_unknown_loop_rejected(self):
+        prog = matmul_program()
+        with pytest.raises(TransformError):
+            strip_mine(prog.nests[0], "zz", 4)
+
+
+class TestTileNest:
+    def test_figure8_structure(self):
+        """tiles=[(k,W),(i,H)] yields do KK / do II / do J / do K / do I."""
+        prog = matmul_program(12)
+        tiled = tile_nest(prog.nests[0], [("k", 5), ("i", 4)])
+        assert tiled.loop_vars == ("kk", "ii", "j", "k", "i")
+
+    def test_preserves_multiset_and_matches_interpreter(self):
+        prog = matmul_program(9)
+        lay = DataLayout.sequential(prog)
+        tiled = prog.with_nests([tile_nest(prog.nests[0], [("k", 4), ("i", 3)])])
+        t = generate_trace(tiled, lay)
+        np.testing.assert_array_equal(t, interpret_program(tiled, lay))
+        np.testing.assert_array_equal(
+            np.sort(t), np.sort(generate_trace(prog, lay))
+        )
+
+    def test_custom_order_and_names(self):
+        prog = matmul_program(8)
+        tiled = tile_nest(
+            prog.nests[0],
+            [("i", 4)],
+            order=["it", "j", "k", "i"],
+            names={"i": "it"},
+        )
+        assert tiled.loop_vars == ("it", "j", "k", "i")
+
+    def test_build_tiled_matmul_helper(self):
+        prog = matmul.build_tiled(8, tile_w=3, tile_h=2)
+        assert prog.nests[0].loop_vars == ("kk", "ii", "j", "k", "i")
+        lay = DataLayout.sequential(prog)
+        plain = matmul.build(8)
+        np.testing.assert_array_equal(
+            np.sort(generate_trace(prog, lay)),
+            np.sort(generate_trace(plain, DataLayout.sequential(plain))),
+        )
+
+    def test_invalid_tile_size(self):
+        prog = matmul_program()
+        with pytest.raises(TransformError):
+            tile_nest(prog.nests[0], [("i", 0)])

@@ -1,0 +1,94 @@
+"""Reversal, interchange, skewing."""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.errors import TransformError
+from repro.trace.generator import generate_trace
+from repro.transforms.unimodular import interchange, reverse_loop, skew
+
+
+def stencil_program(n=12):
+    b = ProgramBuilder("st")
+    A = b.array("A", (n, n))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 2, n - 1), b.loop(i, 2, n - 1)],
+        [b.use(reads=[A[i, j - 1], A[i - 1, j], A[i, j]])],
+    )
+    return b.build()
+
+
+def trace_multiset(prog):
+    return np.sort(generate_trace(prog, DataLayout.sequential(prog)))
+
+
+class TestReversal:
+    def test_preserves_multiset_reverses_order(self):
+        prog = stencil_program()
+        rev = prog.with_nests([reverse_loop(prog.nests[0], "i")])
+        np.testing.assert_array_equal(trace_multiset(prog), trace_multiset(rev))
+        lay = DataLayout.sequential(prog)
+        t0, t1 = generate_trace(prog, lay), generate_trace(rev, lay)
+        assert not np.array_equal(t0, t1)
+
+    def test_double_reversal_identity(self):
+        prog = stencil_program()
+        nest = prog.nests[0]
+        twice = reverse_loop(reverse_loop(nest, "j"), "j")
+        assert twice == nest
+
+    def test_unknown_loop(self):
+        prog = stencil_program()
+        with pytest.raises(TransformError):
+            reverse_loop(prog.nests[0], "zz")
+
+
+class TestInterchange:
+    def test_swaps(self):
+        prog = stencil_program()
+        got = interchange(prog.nests[0], "i", "j")
+        assert got.loop_vars == ("i", "j")
+
+    def test_same_var_noop(self):
+        prog = stencil_program()
+        assert interchange(prog.nests[0], "i", "i") == prog.nests[0]
+
+    def test_preserves_multiset(self):
+        prog = stencil_program()
+        sw = prog.with_nests([interchange(prog.nests[0], "i", "j")])
+        np.testing.assert_array_equal(trace_multiset(prog), trace_multiset(sw))
+
+
+class TestSkew:
+    def test_preserves_multiset(self):
+        prog = stencil_program()
+        sk = prog.with_nests([skew(prog.nests[0], "j", "i", 1)])
+        np.testing.assert_array_equal(trace_multiset(prog), trace_multiset(sk))
+
+    def test_skewed_bounds_depend_on_outer(self):
+        prog = stencil_program()
+        got = skew(prog.nests[0], "j", "i", 2)
+        inner = got.loops[-1]
+        assert inner.lower.depends_on("j")
+        assert inner.upper.depends_on("j")
+
+    def test_zero_factor_noop(self):
+        prog = stencil_program()
+        assert skew(prog.nests[0], "j", "i", 0) == prog.nests[0]
+
+    def test_wrong_nesting_rejected(self):
+        prog = stencil_program()
+        with pytest.raises(TransformError):
+            skew(prog.nests[0], "i", "j", 1)  # i does not enclose j
+
+    def test_interchange_after_skew_requires_bound_rewrite(self):
+        """After skewing, the inner loop's bounds depend on the outer
+        variable, so a naive interchange is structurally illegal -- the
+        transform refuses rather than emitting wrong bounds (full wavefront
+        interchange would need min/max bound rewriting)."""
+        prog = stencil_program()
+        sk = skew(prog.nests[0], "j", "i", 1)
+        with pytest.raises(TransformError):
+            interchange(sk, "j", "i")

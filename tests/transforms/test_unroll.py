@@ -1,0 +1,107 @@
+"""Loop unrolling and the footnote-2 MFLOPS experiment."""
+
+import numpy as np
+import pytest
+
+from repro import DataLayout, ultrasparc_i
+from repro.cache.streaming import StreamingHierarchy
+from repro.errors import TransformError
+from repro.experiments.common import estimated_cycles, mflops
+from repro.kernels import matmul
+from repro.trace.generator import generate_trace, program_trace_chunks
+from repro.transforms.contraction import scalar_replace
+from repro.transforms.unroll import unroll
+
+
+class TestUnroll:
+    def test_structure(self):
+        prog = matmul.build(12)
+        got = unroll(prog.nests[0], "k", 4)
+        k_loop = next(lp for lp in got.loops if lp.var == "k")
+        assert k_loop.step == 4
+        assert len(got.body) == 4 * len(prog.nests[0].body)
+
+    def test_multiset_preserved(self):
+        prog = matmul.build(12)
+        lay = DataLayout.sequential(prog)
+        unrolled = prog.with_nests([unroll(prog.nests[0], "k", 3)])
+        np.testing.assert_array_equal(
+            np.sort(generate_trace(prog, lay)),
+            np.sort(generate_trace(unrolled, lay)),
+        )
+
+    def test_innermost_unroll_is_in_order(self):
+        prog = matmul.build(8)
+        lay = DataLayout.sequential(prog)
+        unrolled = prog.with_nests([unroll(prog.nests[0], "i", 2)])
+        # Innermost unroll preserves the exact reference ORDER, not just
+        # the multiset: copies run back to back as in hand-unrolled code.
+        np.testing.assert_array_equal(
+            generate_trace(prog, lay), generate_trace(unrolled, lay)
+        )
+
+    def test_factor_one_noop(self):
+        prog = matmul.build(8)
+        assert unroll(prog.nests[0], "k", 1) is prog.nests[0]
+
+    def test_indivisible_trip_rejected(self):
+        prog = matmul.build(10)
+        with pytest.raises(TransformError):
+            unroll(prog.nests[0], "k", 3)
+
+    def test_unknown_loop(self):
+        prog = matmul.build(8)
+        with pytest.raises(TransformError):
+            unroll(prog.nests[0], "zz", 2)
+
+
+class TestFootnoteTwo:
+    """Figure 13, footnote 2: 'if we unroll the loop by hand and apply
+    scalar replacement, we achieve 60 MFLOPS' (from ~38 tiled) -- a ratio
+    of roughly 1.6x from register-level reference elimination."""
+
+    def modeled_mflops(self, prog, hier):
+        sim = StreamingHierarchy(hier)
+        sim.feed_all(program_trace_chunks(prog, DataLayout.sequential(prog)))
+        fl = prog.total_flops()
+        return mflops(fl, estimated_cycles(sim.result(), hier, fl))
+
+    def test_unroll_plus_scalar_replacement_boosts_mflops(self):
+        hier = ultrasparc_i()
+        n = 96  # fits L2, like the paper's small sizes
+        base = matmul.build(n)
+        baseline = self.modeled_mflops(base, hier)
+
+        nest = unroll(base.nests[0], "k", 4)
+        nest = scalar_replace(nest, sink_stores=True)
+        tuned = base.with_nests([nest])
+        boosted = self.modeled_mflops(tuned, hier)
+        # C(i,j) is read/written once instead of 4x per unrolled group:
+        # refs per flop drop from 2.0 to 1.25 and modeled MFLOPS rise
+        # ~1.2x.  (The paper's full 38 -> 60 = 1.6x also includes dual-
+        # issue ILP, which the additive cycle model deliberately omits.)
+        assert tuned.total_refs() == base.total_refs() * 10 // 16
+        assert boosted > 1.1 * baseline
+
+    def test_flops_conserved_by_tuning(self):
+        base = matmul.build(48)
+        nest = scalar_replace(unroll(base.nests[0], "k", 4), sink_stores=True)
+        assert base.with_nests([nest]).total_flops() == base.total_flops()
+
+    def test_sink_stores_keeps_last_store_only(self):
+        from repro import ProgramBuilder
+
+        b = ProgramBuilder("s")
+        A = b.array("A", (8,))
+        X = b.array("X", (8,))
+        (i,) = b.vars("i")
+        b.nest(
+            [b.loop(i, 1, 8)],
+            [
+                b.assign(A[i], reads=[X[i]], flops=1),
+                b.assign(A[i], reads=[X[i]], flops=1),
+            ],
+        )
+        nest = scalar_replace(b.build().nests[0], sink_stores=True)
+        stores = [r for r in nest.refs if r.is_write]
+        assert len(stores) == 1
