@@ -60,7 +60,13 @@ from repro.ir import (
 )
 from repro.layout import CacheDiagram, DataLayout
 from repro.simulate import simulate_nest, simulate_program
-from repro.driver import OptimizationReport, optimize
+from repro.driver import (
+    OptimizationReport,
+    StrategyOutcome,
+    evaluate_strategies,
+    optimize,
+)
+from repro.exec import ResultStore, SimJob, SweepExecutor
 from repro.errors import (
     AnalysisError,
     ConfigError,
@@ -100,7 +106,13 @@ __all__ = [
     "simulate_program",
     "simulate_nest",
     "optimize",
+    "evaluate_strategies",
     "OptimizationReport",
+    "StrategyOutcome",
+    # parallel execution & memoization
+    "SimJob",
+    "SweepExecutor",
+    "ResultStore",
     # errors
     "ReproError",
     "ConfigError",

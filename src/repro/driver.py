@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.analysis.costmodel import MissCostModel
 from repro.analysis.fusionmodel import fusion_delta, fusion_profitable
 from repro.cache.config import HierarchyConfig
+from repro.cache.stats import SimulationResult
 from repro.errors import ReproError
 from repro.ir.program import Program
 from repro.layout.layout import DataLayout
@@ -36,7 +37,7 @@ from repro.transforms.maxpad import l2maxpad
 from repro.transforms.pad import multilvl_pad, pad
 from repro.transforms.permute import memory_order
 
-__all__ = ["optimize", "OptimizationReport"]
+__all__ = ["optimize", "evaluate_strategies", "OptimizationReport", "StrategyOutcome"]
 
 STRATEGIES = ("PAD", "L1", "L1&L2")
 
@@ -160,3 +161,50 @@ def optimize(
             report.log(f"L2MAXPAD: pads={layout.pads}")
 
     return program, layout, report
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One strategy's optimized program, layout, decisions, and misses."""
+
+    strategy: str
+    program: Program
+    layout: DataLayout
+    report: OptimizationReport
+    result: SimulationResult
+
+
+def evaluate_strategies(
+    program: Program,
+    hierarchy: HierarchyConfig,
+    strategies: tuple[str, ...] = STRATEGIES,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> dict[str, StrategyOutcome]:
+    """Optimize under each strategy and simulate the outcomes in one sweep.
+
+    The paper's headline comparison ("L1" vs "L1&L2" should land within a
+    whisker of each other) as a single call: the optimization pipeline
+    runs per strategy, then every resulting (program, layout) is simulated
+    through a :class:`~repro.exec.executor.SweepExecutor` -- parallel
+    across strategies and memoized like any other sweep.
+    """
+    from repro.exec.executor import SweepExecutor
+    from repro.exec.jobs import SimJob
+
+    optimized = {s: optimize(program, hierarchy, strategy=s) for s in strategies}
+    jobs = [
+        SimJob(program=p, layout=lay, hierarchy=hierarchy, tag=(s,))
+        for s, (p, lay, _) in optimized.items()
+    ]
+    if executor is None:
+        executor = SweepExecutor(workers=workers if workers is not None else 1,
+                                 store=store)
+    sims = executor.run(jobs)
+    return {
+        s: StrategyOutcome(
+            strategy=s, program=p, layout=lay, report=rep, result=sim
+        )
+        for (s, (p, lay, rep)), sim in zip(optimized.items(), sims)
+    }

@@ -1,0 +1,53 @@
+"""Parallel experiment execution with content-addressed memoization.
+
+The subsystem has three layers:
+
+* :mod:`repro.exec.hashing` -- stable content hashing of simulation
+  inputs (program IR, layout, hierarchy geometry, trace mode);
+* :mod:`repro.exec.store` -- :class:`ResultStore`, an on-disk
+  content-addressed cache of :class:`~repro.cache.stats.SimulationResult`;
+* :mod:`repro.exec.executor` -- :class:`SweepExecutor`, fanning
+  independent :class:`SimJob` simulations across worker processes with
+  deterministic ordering and graceful serial fallback.
+
+Typical sweep::
+
+    from repro.exec import ResultStore, SimJob, SweepExecutor
+
+    jobs = [SimJob(program, layout, hierarchy) for layout in layouts]
+    ex = SweepExecutor(workers=4, store=ResultStore("~/.cache/repro-sim"))
+    results = ex.run(jobs)          # parallel; re-running is ~free
+    print(ex.stats.format())        # hits/misses, per-job timing
+
+See ``docs/parallel_execution.md`` for the design and the cache-key
+contract.
+"""
+
+from repro.exec.executor import (
+    ExecStats,
+    JobRecord,
+    SweepExecutor,
+    execute_one,
+    get_default_store,
+    run_jobs,
+    set_default_store,
+)
+from repro.exec.hashing import SCHEMA_VERSION, job_key, program_fingerprint
+from repro.exec.jobs import SimJob
+from repro.exec.store import ResultStore, open_default_store
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExecStats",
+    "JobRecord",
+    "ResultStore",
+    "SimJob",
+    "SweepExecutor",
+    "execute_one",
+    "get_default_store",
+    "job_key",
+    "open_default_store",
+    "program_fingerprint",
+    "run_jobs",
+    "set_default_store",
+]

@@ -1,0 +1,260 @@
+"""The parallel sweep executor.
+
+Every experiment in the reproduction is a list of *independent*
+(program, layout, hierarchy) simulations; :class:`SweepExecutor` runs such
+a list with
+
+* **memoization** -- each job's content key is checked against a
+  :class:`~repro.exec.store.ResultStore` before any work happens;
+* **parallelism** -- remaining jobs fan out across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` (``pool.map`` with the
+  job order preserved, so results are deterministic and byte-identical to
+  the serial path);
+* **graceful degradation** -- ``workers=1``, a single pending job, or any
+  failure to stand a pool up (restricted environments, unpicklable
+  platforms) falls back to in-process serial execution;
+* **observability** -- per-job timing and hit/miss provenance are kept in
+  :attr:`SweepExecutor.stats` and the cumulative :attr:`history`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.cache.stats import SimulationResult
+from repro.errors import ReproError
+from repro.exec.jobs import SimJob
+from repro.exec.store import ResultStore, open_default_store
+
+__all__ = [
+    "JobRecord",
+    "ExecStats",
+    "SweepExecutor",
+    "execute_one",
+    "run_jobs",
+    "get_default_store",
+    "set_default_store",
+]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Provenance of one executed job."""
+
+    index: int
+    key: str
+    seconds: float
+    source: str  # "cache" | "serial" | "pool"
+    tag: tuple = ()
+
+
+@dataclass
+class ExecStats:
+    """What one :meth:`SweepExecutor.run` call did, and how long it took."""
+
+    workers: int = 1
+    wall_seconds: float = 0.0
+    records: list[JobRecord] = field(default_factory=list)
+
+    @property
+    def jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def cache_misses(self) -> int:
+        return self.jobs - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def sim_seconds(self) -> float:
+        """Summed simulation time across jobs (exceeds wall time when
+        jobs overlap in the pool)."""
+        return sum(r.seconds for r in self.records if r.source != "cache")
+
+    def format(self) -> str:
+        """One observability line for CLI output."""
+        pooled = sum(1 for r in self.records if r.source == "pool")
+        parts = [
+            f"{self.jobs} jobs",
+            f"{self.cache_hits} cached ({100.0 * self.hit_rate:.0f}%)",
+            f"{self.cache_misses} simulated"
+            + (f" ({pooled} in pool, workers={self.workers})" if pooled else ""),
+            f"sim {self.sim_seconds:.2f}s",
+            f"wall {self.wall_seconds:.2f}s",
+        ]
+        return ", ".join(parts)
+
+
+def _timed_run(job: SimJob) -> tuple[SimulationResult, float]:
+    """Worker entry point: simulate one job, measuring its time.
+
+    Must stay a module-level function so it pickles to worker processes.
+    """
+    t0 = time.perf_counter()
+    result = job.run()
+    return result, time.perf_counter() - t0
+
+
+class SweepExecutor:
+    """Run independent simulation jobs, memoized and in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.  With one
+        worker (or one pending job) everything runs in-process.
+    store:
+        A :class:`ResultStore` for memoization, or None to disable.
+    """
+
+    def __init__(self, workers: int | None = None, store: ResultStore | None = None):
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.store = store
+        self.stats = ExecStats(workers=self.workers)
+        self.history: list[ExecStats] = []
+
+    # -- internals ---------------------------------------------------------
+    def _run_pool(self, jobs: list[SimJob], nworkers: int) -> list | None:
+        """Map jobs over a process pool; None when the pool cannot be used."""
+        try:
+            with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                return list(pool.map(_timed_run, jobs, chunksize=1))
+        except (
+            OSError,
+            ValueError,
+            RuntimeError,
+            ImportError,
+            NotImplementedError,
+            BrokenProcessPool,
+            pickle.PicklingError,
+        ):
+            return None
+
+    # -- API ---------------------------------------------------------------
+    def run(self, jobs) -> list[SimulationResult]:
+        """Execute all jobs; results come back in job order.
+
+        Parallel and serial paths produce bit-identical results: the
+        simulation is deterministic and ``pool.map`` preserves ordering.
+        """
+        jobs = list(jobs)
+        t0 = time.perf_counter()
+        stats = ExecStats(workers=self.workers)
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, str, SimJob]] = []
+
+        for i, job in enumerate(jobs):
+            if not isinstance(job, SimJob):
+                raise ReproError(f"SweepExecutor.run expects SimJobs, got {type(job)!r}")
+            key = job.key()
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                results[i] = cached
+                stats.records.append(JobRecord(i, key, 0.0, "cache", job.tag))
+            else:
+                pending.append((i, key, job))
+
+        if pending:
+            # Duplicate keys inside one run simulate once; the extra
+            # occurrences share the result like cache hits.
+            unique: dict[str, tuple[int, SimJob]] = {}
+            for i, key, job in pending:
+                unique.setdefault(key, (i, job))
+            ordered = list(unique.values())
+            nworkers = min(self.workers, len(ordered))
+            outs = None
+            source = "pool"
+            if nworkers > 1:
+                outs = self._run_pool([job for _, job in ordered], nworkers)
+            if outs is None:
+                source = "serial"
+                outs = [_timed_run(job) for _, job in ordered]
+            computed = {key: out for (key, _), out in zip(unique.items(), outs)}
+            for i, key, job in pending:
+                result, seconds = computed[key]
+                first = unique[key][0] == i
+                results[i] = result
+                stats.records.append(
+                    JobRecord(i, key, seconds if first else 0.0,
+                              source if first else "cache", job.tag)
+                )
+                if first and self.store is not None:
+                    self.store.put(key, result)
+
+        stats.records.sort(key=lambda r: r.index)
+        stats.wall_seconds = time.perf_counter() - t0
+        self.stats = stats
+        self.history.append(stats)
+        return results  # type: ignore[return-value]
+
+
+def run_jobs(
+    jobs,
+    workers: int | None = None,
+    store: ResultStore | None = None,
+) -> tuple[list[SimulationResult], ExecStats]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    ex = SweepExecutor(workers=workers, store=store)
+    results = ex.run(jobs)
+    return results, ex.stats
+
+
+# -- default store plumbing (library entry points) --------------------------
+#
+# simulate_program / simulate_nest / simulate_kernel_layout memoize through
+# a process-wide default store: off unless REPRO_CACHE_DIR is set or
+# set_default_store() is called.  The experiments CLI manages its own store.
+
+_default_store: ResultStore | None | object = _UNSET
+
+
+def get_default_store() -> ResultStore | None:
+    """The process-wide store used by the one-call simulation helpers."""
+    global _default_store
+    if _default_store is _UNSET:
+        _default_store = open_default_store()
+    return _default_store  # type: ignore[return-value]
+
+
+def set_default_store(store: ResultStore | str | os.PathLike | None) -> None:
+    """Install (or disable, with None) the process-wide default store."""
+    global _default_store
+    if store is None or isinstance(store, ResultStore):
+        _default_store = store
+    else:
+        _default_store = ResultStore(store)
+
+
+def execute_one(job: SimJob, store: ResultStore | None | object = _UNSET) -> SimulationResult:
+    """Run one job through the memoization layer (serial, in-process).
+
+    ``store`` defaults to the process-wide store; pass None to force a
+    fresh simulation.
+    """
+    if store is _UNSET:
+        store = get_default_store()
+    if store is not None:
+        key = job.key()
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    result = job.run()
+    if store is not None:
+        store.put(key, result)
+    return result

@@ -1,0 +1,155 @@
+"""Content-addressed, on-disk memoization of simulation results.
+
+A :class:`ResultStore` maps the stable job key of
+:mod:`repro.exec.hashing` to a :class:`~repro.cache.stats.SimulationResult`
+serialized as one small JSON file, sharded by the first two hex digits of
+the key.  Writes are atomic (temp file + ``os.replace``), so concurrent
+worker processes and concurrent sweep runs can share one store directory:
+two writers racing on the same key write identical content, and readers
+never observe a partial file.
+
+Invalidation is purely content-based -- there is nothing to expire.  Any
+change to the program IR, the layout, the cache geometry, or the trace
+mode produces a different key; bumping
+:data:`repro.exec.hashing.SCHEMA_VERSION` orphans every old entry at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.cache.stats import LevelStats, SimulationResult
+
+__all__ = ["ResultStore", "open_default_store", "result_to_payload", "payload_to_result"]
+
+_PAYLOAD_SCHEMA = 1
+
+# Environment surface: REPRO_CACHE_DIR points the default store somewhere,
+# REPRO_NO_CACHE=1 disables it outright.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+def result_to_payload(result: SimulationResult) -> dict:
+    """Lossless JSON-able encoding of a simulation result."""
+    return {
+        "schema": _PAYLOAD_SCHEMA,
+        "total_refs": result.total_refs,
+        "levels": [
+            {"name": lv.name, "accesses": lv.accesses, "misses": lv.misses}
+            for lv in result.levels
+        ],
+    }
+
+
+def payload_to_result(payload: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_payload` (raises on malformed payloads)."""
+    if payload.get("schema") != _PAYLOAD_SCHEMA:
+        raise ValueError(f"unsupported result payload schema: {payload.get('schema')!r}")
+    return SimulationResult(
+        total_refs=int(payload["total_refs"]),
+        levels=tuple(
+            LevelStats(
+                name=lv["name"],
+                accesses=int(lv["accesses"]),
+                misses=int(lv["misses"]),
+            )
+            for lv in payload["levels"]
+        ),
+    )
+
+
+class ResultStore:
+    """Disk-backed result cache keyed by content hash.
+
+    ``hits`` / ``misses`` count :meth:`get` outcomes and ``puts`` counts
+    writes, giving the executor its observability for free.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Sharded file path of one key."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Look up a key; unreadable or corrupt entries count as misses."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = payload_to_result(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result atomically (last writer wins, content identical)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(result_to_payload(result), separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from disk (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, puts={self.puts})"
+        )
+
+
+def open_default_store() -> ResultStore | None:
+    """The environment-configured store, or None when caching is off.
+
+    Library entry points (``simulate_program`` etc.) memoize only when the
+    user opts in via ``REPRO_CACHE_DIR``; the experiments CLI constructs
+    its own store explicitly (on by default there, see ``--no-cache``).
+    """
+    if os.environ.get(ENV_NO_CACHE):
+        return None
+    root = os.environ.get(ENV_CACHE_DIR)
+    if not root:
+        return None
+    return ResultStore(root)

@@ -4,16 +4,27 @@ Usage::
 
     python -m repro.experiments table1
     python -m repro.experiments fig9 [--quick]
+    python -m repro.experiments fig11 --workers 4          # parallel sweep
     python -m repro.experiments all --quick --out results/
+
+Simulations fan out across ``--workers`` processes and are memoized in an
+on-disk result store (``--cache-dir``, default ``~/.cache/repro-sim`` or
+``$REPRO_CACHE_DIR``), so re-running a figure re-simulates only points
+whose program/layout/hierarchy actually changed.  ``--no-cache`` disables
+the store for a pure recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import os
 import pathlib
 import sys
 import time
 
+from repro.exec.executor import SweepExecutor
+from repro.exec.store import ENV_CACHE_DIR, ResultStore
 from repro.experiments import (
     ext_associativity,
     ext_three_level,
@@ -44,6 +55,14 @@ EXPERIMENTS = {
 }
 
 
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-sim"
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -63,16 +82,43 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=pathlib.Path, default=None,
         help="also write each report to <out>/<experiment>.txt",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation worker processes (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help=f"result-store directory (default: $" + ENV_CACHE_DIR +
+             " or ~/.cache/repro-sim)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result store",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    store = None
+    if not args.no_cache:
+        store = ResultStore(args.cache_dir or default_cache_dir())
+    executor = SweepExecutor(workers=args.workers, store=store)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         module = EXPERIMENTS[name]
+        # Experiments that simulate accept the executor; table1/timing
+        # (inventory and wall-clock measurement) run as before.
+        kwargs = {"quick": args.quick}
+        if "executor" in inspect.signature(module.run).parameters:
+            kwargs["executor"] = executor
         t0 = time.time()
-        result = module.run(quick=args.quick)
+        result = module.run(**kwargs)
         report = result.format()
         elapsed = time.time() - t0
         print(f"==== {name} ({elapsed:.1f}s) ====")
+        if "executor" in kwargs:
+            print(f"[exec] {executor.stats.format()}")
         print(report)
         print()
         if args.out is not None:

@@ -14,7 +14,9 @@ from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig
 from repro.cache.stats import SimulationResult
-from repro.cache.streaming import StreamingHierarchy
+from repro.exec.executor import _UNSET, SweepExecutor, execute_one
+from repro.exec.jobs import SimJob
+from repro.exec.store import ResultStore
 from repro.ir.program import Program
 from repro.kernels.registry import Kernel
 from repro.layout.layout import DataLayout
@@ -25,6 +27,7 @@ __all__ = [
     "CYCLE_MODEL_NOTE",
     "VersionResult",
     "simulate_kernel_layout",
+    "run_sweep",
     "estimated_cycles",
     "mflops",
     "improvement_pct",
@@ -63,11 +66,31 @@ def simulate_kernel_layout(
     program: Program,
     layout: DataLayout,
     hierarchy: HierarchyConfig,
+    store=_UNSET,
 ) -> SimulationResult:
     """Full-program simulation honoring the kernel's custom trace hook."""
-    sim = StreamingHierarchy(hierarchy)
-    sim.feed_all(kernel.trace_chunks(program, layout))
-    return sim.result()
+    job = SimJob.for_kernel(kernel, program, layout, hierarchy)
+    return execute_one(job, store=store)
+
+
+def run_sweep(
+    jobs: list[SimJob],
+    executor: SweepExecutor | None = None,
+    workers: int | None = None,
+    store: ResultStore | None = None,
+) -> list[SimulationResult]:
+    """Run an experiment's job list through a sweep executor.
+
+    Every figure/extension harness funnels its simulations through here:
+    pass ``executor`` to share one (and read its stats afterwards), or
+    just ``workers``/``store`` for a throwaway one.  The default (no
+    arguments) is a serial, unmemoized run -- exactly the historic
+    behavior of the experiment drivers.
+    """
+    if executor is None:
+        executor = SweepExecutor(workers=workers if workers is not None else 1,
+                                 store=store)
+    return executor.run(jobs)
 
 
 def estimated_cycles(

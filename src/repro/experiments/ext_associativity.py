@@ -20,13 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import CacheConfig, HierarchyConfig, ultrasparc_i
-from repro.experiments.common import simulate_kernel_layout
+from repro.exec.jobs import SimJob
+from repro.experiments.common import run_sweep
 from repro.kernels.registry import get_kernel
 from repro.layout.layout import DataLayout
 from repro.transforms.pad import pad
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "AssocResult", "assoc_hierarchy"]
+__all__ = ["run", "build_jobs", "AssocResult", "assoc_hierarchy"]
 
 DEFAULT_PROGRAMS = ["dot", "expl", "jacobi", "su2cor"]
 QUICK_SIZES = {"dot": 16384, "expl": 192, "jacobi": 192, "su2cor": 128}
@@ -87,24 +88,44 @@ class AssocResult:
         return 100 * (r[("padded", 1)] - r[("padded", 4)])
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     programs: list[str] | None = None,
-) -> AssocResult:
-    """Measure direct-mapped-targeted PAD on 1/2/4-way hierarchies."""
+) -> list[SimJob]:
+    """Each (program, version, associativity) cell, tagged accordingly."""
     programs = programs or DEFAULT_PROGRAMS
     dm = ultrasparc_i()
-    rates: dict[str, dict[tuple[str, int], float]] = {}
+    jobs: list[SimJob] = []
     for name in programs:
         kernel = get_kernel(name)
         n = QUICK_SIZES.get(name) if quick else None
         program = kernel.program(n)
         seq = DataLayout.sequential(program)
         padded = pad(program, seq, dm.l1.size, dm.l1.line_size)
-        rates[name] = {}
         for assoc in (1, 2, 4):
             hier = dm if assoc == 1 else assoc_hierarchy(assoc)
             for version, layout in [("orig", seq), ("padded", padded)]:
-                result = simulate_kernel_layout(kernel, program, layout, hier)
-                rates[name][(version, assoc)] = result.miss_rate("L1")
+                jobs.append(
+                    SimJob.for_kernel(
+                        kernel, program, layout, hier,
+                        tag=(name, version, assoc),
+                    )
+                )
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> AssocResult:
+    """Measure direct-mapped-targeted PAD on 1/2/4-way hierarchies."""
+    jobs = build_jobs(quick, programs)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    rates: dict[str, dict[tuple[str, int], float]] = {}
+    for job, result in zip(jobs, sims):
+        name, version, assoc = job.tag
+        rates.setdefault(name, {})[(version, assoc)] = result.miss_rate("L1")
     return AssocResult(rates=rates)

@@ -19,13 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, alpha_21164
-from repro.experiments.common import simulate_kernel_layout
+from repro.exec.jobs import SimJob
+from repro.experiments.common import run_sweep
 from repro.kernels.registry import get_kernel
 from repro.layout.layout import DataLayout
 from repro.transforms.pad import multilvl_pad, pad
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "ThreeLevelResult"]
+__all__ = ["run", "build_jobs", "ThreeLevelResult"]
 
 DEFAULT_PROGRAMS = ["dot", "expl", "jacobi"]
 # The Alpha preset's L1 is 8 KB: choose sizes resonant with *it*.
@@ -56,13 +57,14 @@ class ThreeLevelResult:
         )
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     programs: list[str] | None = None,
-) -> ThreeLevelResult:
+) -> list[SimJob]:
+    """Each (program, padding version) simulation on the Alpha hierarchy."""
     hier = alpha_21164()
     programs = programs or DEFAULT_PROGRAMS
-    rates: dict[str, dict[str, tuple[float, float, float]]] = {}
+    jobs: list[SimJob] = []
     for name in programs:
         kernel = get_kernel(name)
         n = (QUICK_SIZES if quick else SIZES).get(name)
@@ -73,10 +75,28 @@ def run(
             "L1 Opt": pad(program, seq, hier.l1.size, hier.l1.line_size),
             "all levels": multilvl_pad(program, seq, hier),
         }
-        rates[name] = {}
         for version, layout in layouts.items():
-            r = simulate_kernel_layout(kernel, program, layout, hier)
-            rates[name][version] = (
-                r.miss_rate("L1"), r.miss_rate("L2"), r.miss_rate("L3")
+            jobs.append(
+                SimJob.for_kernel(
+                    kernel, program, layout, hier, tag=(name, version)
+                )
             )
-    return ThreeLevelResult(hierarchy=hier, rates=rates)
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> ThreeLevelResult:
+    jobs = build_jobs(quick, programs)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    rates: dict[str, dict[str, tuple[float, float, float]]] = {}
+    for job, r in zip(jobs, sims):
+        name, version = job.tag
+        rates.setdefault(name, {})[version] = (
+            r.miss_rate("L1"), r.miss_rate("L2"), r.miss_rate("L3")
+        )
+    return ThreeLevelResult(hierarchy=alpha_21164(), rates=rates)

@@ -23,15 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
-from repro.cache.streaming import StreamingHierarchy
-from repro.experiments.common import estimated_cycles
+from repro.exec.jobs import SimJob
+from repro.experiments.common import estimated_cycles, run_sweep
 from repro.kernels import timestep
 from repro.layout.layout import DataLayout
-from repro.trace.generator import program_trace_chunks
 from repro.transforms.timetile import block_columns_for_cache, time_tile
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "TimeTileResult"]
+__all__ = ["run", "build_jobs", "TimeTileResult"]
 
 
 @dataclass(frozen=True)
@@ -58,12 +57,13 @@ class TimeTileResult:
         )
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     n: int | None = None,
     t_steps: int | None = None,
     hierarchy: HierarchyConfig | None = None,
-) -> TimeTileResult:
+) -> list[SimJob]:
+    """The untiled / L1-block / L2-block versions, tagged (version, block, flops)."""
     hierarchy = hierarchy or ultrasparc_i()
     # The array must exceed the L2 cache or there is no cross-time-step
     # traffic to save; n=384 gives a 1.2 MB array against the 512 KB L2.
@@ -81,16 +81,39 @@ def run(
         hierarchy.l2.size, column, t_steps
     )
 
-    rows: dict[str, tuple[int, float, float, float]] = {}
+    jobs: list[SimJob] = []
     for version, block in blocks.items():
         if version == "untiled":
             prog = program
         else:
             tiled = time_tile(nest, "t", "j", block=block, skew=1)
             prog = program.with_nests([tiled])
-        sim = StreamingHierarchy(hierarchy)
-        sim.feed_all(program_trace_chunks(prog, DataLayout.sequential(prog)))
-        result = sim.result()
+        jobs.append(
+            SimJob(
+                program=prog,
+                layout=DataLayout.sequential(prog),
+                hierarchy=hierarchy,
+                tag=(version, block, flops),
+            )
+        )
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    n: int | None = None,
+    t_steps: int | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> TimeTileResult:
+    hierarchy = hierarchy or ultrasparc_i()
+    jobs = build_jobs(quick, n, t_steps, hierarchy)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    rows: dict[str, tuple[int, float, float, float]] = {}
+    for job, result in zip(jobs, sims):
+        version, block, flops = job.tag
         rows[version] = (
             block,
             result.miss_rate("L1"),

@@ -17,15 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.config import CacheConfig, ultrasparc_i
-from repro.cache.streaming import StreamingDirectCache
+from repro.cache.config import CacheConfig, HierarchyConfig, ultrasparc_i
+from repro.exec.jobs import SimJob
+from repro.experiments.common import run_sweep
 from repro.experiments.fig13_tiling import TILE_VERSIONS, tile_for_version
 from repro.kernels import matmul
 from repro.layout.layout import DataLayout
-from repro.trace.generator import program_trace_chunks
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "TLBResult", "tlb_config"]
+__all__ = ["run", "build_jobs", "TLBResult", "tlb_config"]
 
 
 def tlb_config(entries: int = 64, page_size: int = 8192) -> CacheConfig:
@@ -69,18 +69,23 @@ class TLBResult:
         raise KeyError(f"no size {n} in series {version!r}")
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     sizes: list[int] | None = None,
     versions: tuple[str, ...] = ("Orig", "L1", "L2"),
     entries: int = 64,
     page_size: int = 8192,
-) -> TLBResult:
+) -> list[SimJob]:
+    """Each (size, tile version) against the one-level TLB "hierarchy".
+
+    A TLB is just another cache level, so the generic simulator (and
+    therefore the sweep executor and result store) covers it directly.
+    """
     if sizes is None:
         sizes = [128, 192] if quick else [128, 224, 320, 400]
     hier = ultrasparc_i()
-    tlb = tlb_config(entries, page_size)
-    series: dict[str, list[tuple[int, int, int, float]]] = {v: [] for v in versions}
+    tlb_hier = HierarchyConfig(levels=(tlb_config(entries, page_size),))
+    jobs: list[SimJob] = []
     for n in sizes:
         for version in versions:
             shape = tile_for_version(version, n, hier)
@@ -90,11 +95,31 @@ def run(
             else:
                 program = matmul.build_tiled(n, shape.width, shape.height)
                 w, h = shape.width, shape.height
-            layout = DataLayout.sequential(program)
-            sim = StreamingDirectCache(tlb.size, tlb.line_size)
-            total = 0
-            for chunk in program_trace_chunks(program, layout):
-                sim.feed(chunk)
-                total += chunk.size
-            series[version].append((n, w, h, sim.misses / total))
+            jobs.append(
+                SimJob(
+                    program=program,
+                    layout=DataLayout.sequential(program),
+                    hierarchy=tlb_hier,
+                    tag=(n, version, w, h),
+                )
+            )
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    sizes: list[int] | None = None,
+    versions: tuple[str, ...] = ("Orig", "L1", "L2"),
+    entries: int = 64,
+    page_size: int = 8192,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> TLBResult:
+    jobs = build_jobs(quick, sizes, versions, entries, page_size)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    series: dict[str, list[tuple[int, int, int, float]]] = {v: [] for v in versions}
+    for job, result in zip(jobs, sims):
+        n, version, w, h = job.tag
+        series[version].append((n, w, h, result.miss_rate("TLB")))
     return TLBResult(series=series)

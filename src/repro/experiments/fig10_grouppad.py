@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.exec.jobs import SimJob
 from repro.experiments.common import (
     VersionResult,
     improvement_pct,
-    simulate_kernel_layout,
+    run_sweep,
 )
 from repro.kernels.registry import get_kernel
 from repro.layout.layout import DataLayout
@@ -28,7 +29,7 @@ from repro.transforms.grouppad import grouppad
 from repro.transforms.maxpad import l2maxpad
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "Fig10Result", "DEFAULT_PROGRAMS"]
+__all__ = ["run", "build_jobs", "Fig10Result", "DEFAULT_PROGRAMS"]
 
 DEFAULT_PROGRAMS = ["expl", "jacobi", "shal", "swim", "tomcatv"]
 QUICK_SIZES = {"expl": 192, "jacobi": 192, "shal": 128, "swim": 129, "tomcatv": 129}
@@ -89,23 +90,45 @@ def layouts_for(program, hierarchy):
     return {"orig": orig, "L1 Opt": gp, "L1&L2 Opt": both}
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     programs: list[str] | None = None,
     hierarchy: HierarchyConfig | None = None,
-) -> Fig10Result:
-    """Simulate orig / GROUPPAD / GROUPPAD+L2MAXPAD for each program."""
+) -> list[SimJob]:
+    """The figure's independent simulations, tagged (program, version, flops)."""
     hierarchy = hierarchy or ultrasparc_i()
     programs = programs or DEFAULT_PROGRAMS
-    results: list[VersionResult] = []
+    jobs: list[SimJob] = []
     for name in programs:
         kernel = get_kernel(name)
         n = QUICK_SIZES.get(name) if quick else None
         program = kernel.program(n)
         flops = program.total_flops()
         for version, layout in layouts_for(program, hierarchy).items():
-            sim = simulate_kernel_layout(kernel, program, layout, hierarchy)
-            results.append(
-                VersionResult(program=name, version=version, result=sim, flops=flops)
+            jobs.append(
+                SimJob.for_kernel(
+                    kernel, program, layout, hierarchy,
+                    tag=(name, version, flops),
+                )
             )
-    return Fig10Result(hierarchy=hierarchy, results=tuple(results))
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> Fig10Result:
+    """Simulate orig / GROUPPAD / GROUPPAD+L2MAXPAD for each program."""
+    hierarchy = hierarchy or ultrasparc_i()
+    jobs = build_jobs(quick, programs, hierarchy)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    results = tuple(
+        VersionResult(program=job.tag[0], version=job.tag[1],
+                      result=sim, flops=job.tag[2])
+        for job, sim in zip(jobs, sims)
+    )
+    return Fig10Result(hierarchy=hierarchy, results=results)

@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
-from repro.experiments.common import simulate_kernel_layout
+from repro.exec.jobs import SimJob
+from repro.experiments.common import run_sweep
 from repro.experiments.fig10_grouppad import layouts_for
 from repro.kernels.registry import get_kernel
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "Fig11Result", "sweep_sizes"]
+__all__ = ["run", "build_jobs", "Fig11Result", "sweep_sizes"]
 
 DEFAULT_PROGRAMS = ("expl", "shal")
 
@@ -64,34 +65,58 @@ class Fig11Result:
         return max(100 * (b - d) for _, _, b, _, d in rows)
 
 
+def build_jobs(
+    quick: bool = False,
+    programs: tuple[str, ...] = DEFAULT_PROGRAMS,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+) -> list[SimJob]:
+    """Every (program, size, variant) point of the sweep, in series order."""
+    hierarchy = hierarchy or ultrasparc_i()
+    sizes = sizes or sweep_sizes(quick)
+    jobs: list[SimJob] = []
+    for name in programs:
+        kernel = get_kernel(name)
+        for n in sizes:
+            program = kernel.program(n)
+            layouts = layouts_for(program, hierarchy)
+            for variant in ("L1 Opt", "L1&L2 Opt"):
+                jobs.append(
+                    SimJob.for_kernel(
+                        kernel, program, layouts[variant], hierarchy,
+                        tag=(name, n, variant),
+                    )
+                )
+    return jobs
+
+
 def run(
     quick: bool = False,
     programs: tuple[str, ...] = DEFAULT_PROGRAMS,
     sizes: list[int] | None = None,
     hierarchy: HierarchyConfig | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
 ) -> Fig11Result:
     """Sweep problem sizes, simulating both GROUPPAD variants at each."""
     hierarchy = hierarchy or ultrasparc_i()
-    sizes = sizes or sweep_sizes(quick)
+    jobs = build_jobs(quick, programs, sizes, hierarchy)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
     series: dict[str, list[tuple[int, float, float, float, float]]] = {}
-    for name in programs:
-        kernel = get_kernel(name)
-        rows = []
-        for n in sizes:
-            program = kernel.program(n)
-            layouts = layouts_for(program, hierarchy)
-            l1opt = simulate_kernel_layout(kernel, program, layouts["L1 Opt"], hierarchy)
-            both = simulate_kernel_layout(
-                kernel, program, layouts["L1&L2 Opt"], hierarchy
+    # Jobs come in (program, size) order with the two variants adjacent.
+    for (job_l1, sim_l1), (job_both, sim_both) in zip(
+        zip(jobs[0::2], sims[0::2]), zip(jobs[1::2], sims[1::2])
+    ):
+        name, n, _ = job_l1.tag
+        assert job_both.tag[:2] == (name, n)
+        series.setdefault(name, []).append(
+            (
+                n,
+                sim_l1.miss_rate("L1"),
+                sim_l1.miss_rate("L2"),
+                sim_both.miss_rate("L1"),
+                sim_both.miss_rate("L2"),
             )
-            rows.append(
-                (
-                    n,
-                    l1opt.miss_rate("L1"),
-                    l1opt.miss_rate("L2"),
-                    both.miss_rate("L1"),
-                    both.miss_rate("L2"),
-                )
-            )
-        series[name] = rows
+        )
     return Fig11Result(hierarchy=hierarchy, series=series)

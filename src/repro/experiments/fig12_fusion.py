@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 from repro.analysis.fusionmodel import FusionDelta, fusion_delta
 from repro.cache.config import HierarchyConfig, ultrasparc_i
-from repro.experiments.common import simulate_kernel_layout
+from repro.exec.jobs import SimJob
+from repro.experiments.common import run_sweep
 from repro.kernels import expl
 from repro.kernels.registry import get_kernel
 from repro.layout.layout import DataLayout
@@ -33,7 +34,7 @@ from repro.transforms.grouppad import grouppad
 from repro.transforms.maxpad import l2maxpad
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "Fig12Result", "fusion_pair_for"]
+__all__ = ["run", "build_jobs", "Fig12Result", "fusion_pair_for"]
 
 
 def fusion_pair_for(n: int):
@@ -91,24 +92,47 @@ def analytic_delta(n: int, hierarchy: HierarchyConfig) -> FusionDelta:
     )
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     sizes: list[int] | None = None,
     hierarchy: HierarchyConfig | None = None,
-) -> Fig12Result:
-    """Analytic + simulated fusion deltas over the problem-size sweep."""
+) -> list[SimJob]:
+    """Original/fused simulation pairs per size, tagged (n, version)."""
     hierarchy = hierarchy or ultrasparc_i()
     if sizes is None:
         sizes = list(range(250, 701, 75 if quick else 24))
     kernel = get_kernel("expl")
-    rows = []
+    jobs: list[SimJob] = []
     for n in sizes:
         original, fused = fusion_pair_for(n)
+        for version, program in (("orig", original), ("fused", fused)):
+            jobs.append(
+                SimJob.for_kernel(
+                    kernel, program, _grouppad_layout(program, hierarchy),
+                    hierarchy, tag=(n, version),
+                )
+            )
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> Fig12Result:
+    """Analytic + simulated fusion deltas over the problem-size sweep."""
+    hierarchy = hierarchy or ultrasparc_i()
+    jobs = build_jobs(quick, sizes, hierarchy)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    rows = []
+    for (job, sim_orig), (_, sim_fused) in zip(
+        zip(jobs[0::2], sims[0::2]), zip(jobs[1::2], sims[1::2])
+    ):
+        n = job.tag[0]
         delta = analytic_delta(n, hierarchy)
-        lay_orig = _grouppad_layout(original, hierarchy)
-        lay_fused = _grouppad_layout(fused, hierarchy)
-        sim_orig = simulate_kernel_layout(kernel, original, lay_orig, hierarchy)
-        sim_fused = simulate_kernel_layout(kernel, fused, lay_fused, hierarchy)
         # Both versions normalized by the ORIGINAL reference count (§6.4).
         base = sim_orig.total_refs
         d_l1 = (sim_fused.level("L1").misses - sim_orig.level("L1").misses) / base

@@ -19,15 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
-from repro.cache.streaming import StreamingHierarchy
-from repro.experiments.common import estimated_cycles, mflops
+from repro.exec.jobs import SimJob
+from repro.experiments.common import estimated_cycles, mflops, run_sweep
 from repro.kernels import matmul
-from repro.trace.generator import program_trace_chunks
 from repro.transforms.tilesize import TileShape, select_tile
 from repro.layout.layout import DataLayout
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "Fig13Result", "tile_for_version", "TILE_VERSIONS"]
+__all__ = ["run", "build_jobs", "Fig13Result", "tile_for_version", "TILE_VERSIONS"]
 
 TILE_VERSIONS = ("Orig", "L1", "2xL1", "4xL1", "L2")
 
@@ -84,17 +83,17 @@ class Fig13Result:
         return sum(r[3] for r in rows) / len(rows)
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     sizes: list[int] | None = None,
     hierarchy: HierarchyConfig | None = None,
     versions: tuple[str, ...] = TILE_VERSIONS,
-) -> Fig13Result:
-    """Simulate every tile version at every size; report modeled MFLOPS."""
+) -> list[SimJob]:
+    """Every (size, tile version) simulation, tagged (n, version, w, h)."""
     hierarchy = hierarchy or ultrasparc_i()
     if sizes is None:
         sizes = [100, 160, 220] if quick else list(range(100, 401, 30))
-    series: dict[str, list[tuple[int, int, int, float]]] = {v: [] for v in versions}
+    jobs: list[SimJob] = []
     for n in sizes:
         for version in versions:
             shape = tile_for_version(version, n, hierarchy)
@@ -104,11 +103,34 @@ def run(
             else:
                 program = matmul.build_tiled(n, shape.width, shape.height)
                 w, h = shape.width, shape.height
-            layout = DataLayout.sequential(program)
-            sim = StreamingHierarchy(hierarchy)
-            sim.feed_all(program_trace_chunks(program, layout))
-            result = sim.result()
-            flops = 2 * n * n * n
-            cycles = estimated_cycles(result, hierarchy, flops)
-            series[version].append((n, w, h, mflops(flops, cycles)))
+            jobs.append(
+                SimJob(
+                    program=program,
+                    layout=DataLayout.sequential(program),
+                    hierarchy=hierarchy,
+                    tag=(n, version, w, h),
+                )
+            )
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    sizes: list[int] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    versions: tuple[str, ...] = TILE_VERSIONS,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> Fig13Result:
+    """Simulate every tile version at every size; report modeled MFLOPS."""
+    hierarchy = hierarchy or ultrasparc_i()
+    jobs = build_jobs(quick, sizes, hierarchy, versions)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    series: dict[str, list[tuple[int, int, int, float]]] = {v: [] for v in versions}
+    for job, result in zip(jobs, sims):
+        n, version, w, h = job.tag
+        flops = 2 * n * n * n
+        cycles = estimated_cycles(result, hierarchy, flops)
+        series[version].append((n, w, h, mflops(flops, cycles)))
     return Fig13Result(hierarchy=hierarchy, series=series)

@@ -21,10 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
+from repro.exec.jobs import SimJob
 from repro.experiments.common import (
     VersionResult,
     improvement_pct,
-    simulate_kernel_layout,
+    run_sweep,
 )
 from repro.kernels.registry import KERNELS, get_kernel
 from repro.layout.layout import DataLayout
@@ -32,7 +33,7 @@ from repro.transforms.intrapad import intra_pad
 from repro.transforms.pad import multilvl_pad, pad
 from repro.util.tabulate import format_table
 
-__all__ = ["run", "Fig9Result", "DEFAULT_PROGRAMS", "QUICK_SIZES"]
+__all__ = ["run", "build_jobs", "Fig9Result", "DEFAULT_PROGRAMS", "QUICK_SIZES"]
 
 DEFAULT_PROGRAMS = [k for k in KERNELS if KERNELS[k].suite != "extra"]
 INTRA_PAD_FIRST = ("adi32", "erle64")
@@ -106,15 +107,15 @@ def _three_layouts(program, hierarchy):
     return {"orig": orig, "L1 Opt": l1, "L1&L2 Opt": both}
 
 
-def run(
+def build_jobs(
     quick: bool = False,
     programs: list[str] | None = None,
     hierarchy: HierarchyConfig | None = None,
-) -> Fig9Result:
-    """Simulate all three versions of each program."""
+) -> list[SimJob]:
+    """The figure's independent simulations, tagged (program, version, flops)."""
     hierarchy = hierarchy or ultrasparc_i()
     programs = programs or DEFAULT_PROGRAMS
-    results: list[VersionResult] = []
+    jobs: list[SimJob] = []
     for name in programs:
         kernel = get_kernel(name)
         n = QUICK_SIZES.get(name) if quick else None
@@ -126,10 +127,30 @@ def run(
             )
         flops = program.total_flops()
         for version, layout in _three_layouts(program, hierarchy).items():
-            sim = simulate_kernel_layout(kernel, program, layout, hierarchy)
-            results.append(
-                VersionResult(
-                    program=name, version=version, result=sim, flops=flops
+            jobs.append(
+                SimJob.for_kernel(
+                    kernel, program, layout, hierarchy,
+                    tag=(name, version, flops),
                 )
             )
-    return Fig9Result(hierarchy=hierarchy, results=tuple(results))
+    return jobs
+
+
+def run(
+    quick: bool = False,
+    programs: list[str] | None = None,
+    hierarchy: HierarchyConfig | None = None,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+) -> Fig9Result:
+    """Simulate all three versions of each program."""
+    hierarchy = hierarchy or ultrasparc_i()
+    jobs = build_jobs(quick, programs, hierarchy)
+    sims = run_sweep(jobs, executor=executor, workers=workers, store=store)
+    results = tuple(
+        VersionResult(program=job.tag[0], version=job.tag[1],
+                      result=sim, flops=job.tag[2])
+        for job, sim in zip(jobs, sims)
+    )
+    return Fig9Result(hierarchy=hierarchy, results=results)

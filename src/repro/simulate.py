@@ -5,16 +5,24 @@ This is the main entry point the experiments and examples use::
     from repro import simulate_program, ultrasparc_i
     result = simulate_program(program, layout, ultrasparc_i())
     print(result.miss_rate("L1"), result.miss_rate("L2"))
+
+Both helpers route through :mod:`repro.exec`: the simulation is expressed
+as a :class:`~repro.exec.jobs.SimJob` and memoized against the
+process-wide default :class:`~repro.exec.store.ResultStore` (off unless
+``REPRO_CACHE_DIR`` is set or :func:`repro.exec.set_default_store` is
+called).  Sweeps over many configurations should build the jobs directly
+and hand them to a :class:`~repro.exec.executor.SweepExecutor`.
 """
 
 from __future__ import annotations
 
 from repro.cache.config import HierarchyConfig
 from repro.cache.stats import SimulationResult
-from repro.cache.streaming import StreamingHierarchy
+from repro.exec.executor import _UNSET, execute_one
+from repro.exec.jobs import SimJob
 from repro.ir.program import Program
 from repro.layout.layout import DataLayout
-from repro.trace.generator import DEFAULT_CHUNK_REFS, program_trace_chunks
+from repro.trace.generator import DEFAULT_CHUNK_REFS
 
 __all__ = ["simulate_program", "simulate_nest"]
 
@@ -24,11 +32,20 @@ def simulate_program(
     layout: DataLayout,
     hierarchy: HierarchyConfig,
     max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+    store=_UNSET,
 ) -> SimulationResult:
-    """Trace the whole program under ``layout`` and simulate the hierarchy."""
-    sim = StreamingHierarchy(hierarchy)
-    sim.feed_all(program_trace_chunks(program, layout, max_chunk_refs))
-    return sim.result()
+    """Trace the whole program under ``layout`` and simulate the hierarchy.
+
+    ``store`` overrides the default result store (None disables
+    memoization for this call).
+    """
+    job = SimJob(
+        program=program,
+        layout=layout,
+        hierarchy=hierarchy,
+        max_chunk_refs=max_chunk_refs,
+    )
+    return execute_one(job, store=store)
 
 
 def simulate_nest(
@@ -37,11 +54,14 @@ def simulate_nest(
     nest_index: int,
     hierarchy: HierarchyConfig,
     max_chunk_refs: int = DEFAULT_CHUNK_REFS,
+    store=_UNSET,
 ) -> SimulationResult:
     """Simulate a single nest of the program (cold caches)."""
-    from repro.trace.generator import nest_trace_chunks
-
-    nest = program.nests[nest_index]
-    sim = StreamingHierarchy(hierarchy)
-    sim.feed_all(nest_trace_chunks(program, layout, nest, max_chunk_refs))
-    return sim.result()
+    job = SimJob(
+        program=program,
+        layout=layout,
+        hierarchy=hierarchy,
+        nest_index=nest_index,
+        max_chunk_refs=max_chunk_refs,
+    )
+    return execute_one(job, store=store)

@@ -1,0 +1,108 @@
+"""Cross-validation: executor-backed simulation vs the naive interpreter.
+
+``simulate_program`` now routes through the exec subsystem (jobs, store,
+executor); this must not change a single miss counter.  Randomized small
+programs are replayed iteration-by-iteration through
+:func:`repro.trace.interpreter.interpret_program` (which also
+bounds-checks every subscript) and fed directly into a fresh
+:class:`~repro.cache.streaming.StreamingHierarchy`; the per-level counts
+must equal the executor path exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CacheConfig,
+    DataLayout,
+    HierarchyConfig,
+    ProgramBuilder,
+    simulate_program,
+)
+from repro.cache.streaming import StreamingHierarchy
+from repro.exec.executor import SweepExecutor
+from repro.exec.jobs import SimJob
+from repro.trace.interpreter import interpret_program
+
+SMALL_HIER = HierarchyConfig(
+    levels=(
+        CacheConfig(size=1024, line_size=32, name="L1"),
+        CacheConfig(size=4096, line_size=64, associativity=2, name="L2"),
+    )
+)
+
+
+def random_program(seed: int):
+    """A small random multi-nest program with in-bounds affine subscripts."""
+    rng = random.Random(seed)
+    n = rng.randint(6, 14)
+    b = ProgramBuilder(f"rand{seed}")
+    arrays = [b.array(name, (n, n)) for name in ("A", "B", "C")[: rng.randint(2, 3)]]
+    if rng.random() < 0.5:
+        arrays.append(b.array("V", (n * n,)))
+    i, j = b.vars("i", "j")
+    for nest_idx in range(rng.randint(1, 3)):
+        # Bounds leave room for +1 offsets in either subscript.
+        loops = [b.loop(j, 1, n - 1), b.loop(i, 1, n - 1)]
+        stmts = []
+        for _ in range(rng.randint(1, 3)):
+            refs = []
+            for arr in arrays:
+                if rng.random() < 0.3:
+                    continue
+                if arr.decl.rank == 1:
+                    # Strided 1-D walk: (i-1)*n + j stays inside 1..n*n.
+                    refs.append(arr[i * n + j - n])
+                else:
+                    di, dj = rng.choice([0, 1]), rng.choice([0, 1])
+                    refs.append(arr[i + di, j + dj])
+            if not refs:
+                refs = [arrays[0][i, j]]
+            target, reads = refs[0], refs[1:]
+            stmts.append(b.assign(target, reads=reads, flops=rng.randint(0, 3)))
+        b.nest(loops, stmts, label=f"nest{nest_idx}")
+    return b.build()
+
+
+def interpreter_counts(program, layout, hierarchy):
+    trace = interpret_program(program, layout, check_bounds=True)
+    sim = StreamingHierarchy(hierarchy)
+    sim.feed(trace)
+    return sim.result()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_simulate_program_matches_interpreter(seed):
+    program = random_program(seed)
+    layout = DataLayout.sequential(program)
+    expected = interpreter_counts(program, layout, SMALL_HIER)
+    # Chunked generic path, memoization explicitly off.
+    got = simulate_program(
+        program, layout, SMALL_HIER, max_chunk_refs=256, store=None
+    )
+    assert got.total_refs == expected.total_refs
+    for lv_got, lv_exp in zip(got.levels, expected.levels):
+        assert (lv_got.name, lv_got.accesses, lv_got.misses) == (
+            lv_exp.name,
+            lv_exp.accesses,
+            lv_exp.misses,
+        )
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+def test_pool_execution_matches_interpreter(seed):
+    """The same equality must hold when jobs cross a process boundary."""
+    program = random_program(seed)
+    layout = DataLayout.sequential(program)
+    padded = layout.with_pad(layout.order[-1], 96)
+    jobs = [
+        SimJob(program=program, layout=lay, hierarchy=SMALL_HIER)
+        for lay in (layout, padded)
+    ]
+    results = SweepExecutor(workers=2).run(jobs)
+    for job, got in zip(jobs, results):
+        expected = interpreter_counts(program, job.layout, SMALL_HIER)
+        assert got == expected

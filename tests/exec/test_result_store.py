@@ -1,0 +1,249 @@
+"""The result store's key contract and on-disk behaviour.
+
+The memoization layer is only sound if the job key captures *everything*
+that can change a simulation's counters and *nothing* that cannot.  These
+tests pin both directions: cosmetic renames collide (good -- shared cache
+entries), while any pad, base, loop-bound or cache-geometry perturbation
+separates keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CacheConfig,
+    DataLayout,
+    HierarchyConfig,
+    LevelStats,
+    ProgramBuilder,
+    SimulationResult,
+    ultrasparc_i,
+)
+from repro.exec.hashing import (
+    SCHEMA_VERSION,
+    canonical,
+    digest,
+    job_key,
+    program_fingerprint,
+)
+from repro.exec.jobs import SimJob
+from repro.exec.store import ResultStore, payload_to_result, result_to_payload
+
+
+def build_program(n: int = 64, name: str = "prog", label: str = "nest1"):
+    b = ProgramBuilder(name)
+    A = b.array("A", (n, n))
+    B = b.array("B", (n, n))
+    i, j = b.vars("i", "j")
+    b.nest(
+        [b.loop(j, 1, n - 1), b.loop(i, 1, n)],
+        [b.assign(B[i, j], reads=[A[i, j], A[i, j + 1]], flops=1)],
+        label=label,
+    )
+    return b.build()
+
+
+class TestKeyStability:
+    def test_identical_inputs_identical_key(self):
+        p1, p2 = build_program(), build_program()
+        lay1, lay2 = DataLayout.sequential(p1), DataLayout.sequential(p2)
+        hier = ultrasparc_i()
+        assert job_key(p1, lay1, hier) == job_key(p2, lay2, hier)
+
+    def test_cosmetic_names_do_not_change_key(self):
+        """Program name and nest labels never reach the key: a rename
+        must keep sharing cache entries."""
+        p1 = build_program(name="expl_a", label="velocity")
+        p2 = build_program(name="expl_b", label="advance")
+        hier = ultrasparc_i()
+        lay = DataLayout.sequential(p1)
+        assert job_key(p1, lay, hier) == job_key(p2, lay, hier)
+        assert program_fingerprint(p1) == program_fingerprint(p2)
+
+    def test_key_is_hex_sha256(self):
+        p = build_program()
+        key = job_key(p, DataLayout.sequential(p), ultrasparc_i())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_schema_version_participates(self):
+        p = build_program()
+        payload = [
+            SCHEMA_VERSION,
+            canonical(p),
+            canonical(DataLayout.sequential(p)),
+            canonical(ultrasparc_i()),
+            canonical(("program",)),
+        ]
+        bumped = [SCHEMA_VERSION + 1] + payload[1:]
+        assert digest(payload) != digest(bumped)
+
+
+class TestKeySensitivity:
+    """Every physically meaningful perturbation must separate keys."""
+
+    def setup_method(self):
+        self.program = build_program()
+        self.layout = DataLayout.sequential(self.program)
+        self.hier = ultrasparc_i()
+
+    def key(self, program=None, layout=None, hier=None, trace=("program",)):
+        return job_key(
+            program or self.program,
+            layout or self.layout,
+            hier or self.hier,
+            trace,
+        )
+
+    @given(pad=st.integers(min_value=8, max_value=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_pad_changes_key(self, pad):
+        padded = self.layout.with_pad("A", pad)
+        assert self.key(layout=padded) != self.key()
+
+    def test_origin_changes_key(self):
+        moved = DataLayout.sequential(self.program, origin=4096)
+        assert self.key(layout=moved) != self.key()
+
+    def test_variable_order_changes_key(self):
+        reordered = self.layout.reordered(["B", "A"])
+        assert self.key(layout=reordered) != self.key()
+
+    def test_loop_bound_changes_key(self):
+        assert (
+            program_fingerprint(build_program(n=64))
+            != program_fingerprint(build_program(n=65))
+        )
+
+    @given(size=st.sampled_from([8192, 32768, 65536]))
+    @settings(max_examples=10, deadline=None)
+    def test_cache_size_changes_key(self, size):
+        l1 = CacheConfig(size=size, line_size=32, name="L1")
+        hier = HierarchyConfig(levels=(l1,))
+        base = HierarchyConfig(levels=(CacheConfig(size=16384, line_size=32, name="L1"),))
+        assert self.key(hier=hier) != self.key(hier=base)
+
+    def test_line_size_and_associativity_change_key(self):
+        mk = lambda line, assoc: HierarchyConfig(
+            levels=(CacheConfig(size=16384, line_size=line, associativity=assoc, name="L1"),)
+        )
+        keys = {self.key(hier=mk(32, 1)), self.key(hier=mk(64, 1)), self.key(hier=mk(32, 2))}
+        assert len(keys) == 3
+
+    def test_trace_mode_changes_key(self):
+        keys = {
+            self.key(trace=("program",)),
+            self.key(trace=("nest", 0)),
+            self.key(trace=("kernel", "irr500k")),
+        }
+        assert len(keys) == 3
+
+    def test_hit_cycles_do_not_change_key(self):
+        """The cycle model is applied after simulation; charging different
+        hit costs must keep reusing stored counters."""
+        mk = lambda cost: HierarchyConfig(
+            levels=(CacheConfig(size=16384, line_size=32, name="L1", hit_cycles=cost),)
+        )
+        assert self.key(hier=mk(1.0)) == self.key(hier=mk(7.0))
+
+    def test_chunking_does_not_change_key(self):
+        a = SimJob(program=self.program, layout=self.layout, hierarchy=self.hier)
+        b = SimJob(
+            program=self.program, layout=self.layout, hierarchy=self.hier,
+            max_chunk_refs=1000,
+        )
+        assert a.key() == b.key()
+
+    def test_tag_does_not_change_key(self):
+        a = SimJob(program=self.program, layout=self.layout, hierarchy=self.hier)
+        b = SimJob(
+            program=self.program, layout=self.layout, hierarchy=self.hier,
+            tag=("fig9", "dot", 42),
+        )
+        assert a.key() == b.key()
+
+
+levels_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["L1", "L2", "L3", "TLB"]),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**12),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestPayloadRoundTrip:
+    @given(total=st.integers(min_value=0, max_value=10**12), levels=levels_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_lossless(self, total, levels):
+        result = SimulationResult(
+            total_refs=total,
+            levels=tuple(
+                LevelStats(name=n, accesses=a, misses=min(m, a))
+                for n, a, m in levels
+            ),
+        )
+        back = payload_to_result(result_to_payload(result))
+        assert back == result
+        # And stable through an actual JSON round trip, as the store does it.
+        assert payload_to_result(json.loads(json.dumps(result_to_payload(result)))) == result
+
+
+class TestResultStore:
+    def make_result(self):
+        return SimulationResult(
+            total_refs=1000,
+            levels=(
+                LevelStats(name="L1", accesses=1000, misses=120),
+                LevelStats(name="L2", accesses=120, misses=17),
+            ),
+        )
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        assert store.get(key) is None
+        store.put(key, self.make_result())
+        assert key in store
+        assert store.get(key) == self.make_result()
+        assert len(store) == 1
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "1" * 62
+        store.put(key, self.make_result())
+        assert store.path_for(key) == tmp_path / "cd" / f"{key}.json"
+        assert store.path_for(key).is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "2" * 62
+        store.put(key, self.make_result())
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+        # A wrong-schema payload is also rejected, not mis-parsed.
+        store.path_for(key).write_text(json.dumps({"schema": 99}))
+        assert store.get(key) is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(3):
+            store.put(f"{i:02d}" + "3" * 62, self.make_result())
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_hit_rate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.hit_rate == 0.0
+        key = "aa" + "4" * 62
+        store.get(key)
+        store.put(key, self.make_result())
+        store.get(key)
+        assert store.hit_rate == 0.5

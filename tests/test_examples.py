@@ -4,6 +4,7 @@ Only the light examples run here (the sweep examples take minutes at
 full size and are exercised through their underlying experiments).
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -11,6 +12,18 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
+
+
+def _env_with_src():
+    """Subprocesses run from a scratch cwd, so a relative ``PYTHONPATH=src``
+    would no longer resolve; hand them the absolute path instead."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not existing else str(SRC) + os.pathsep + existing
+    )
+    return env
 
 LIGHT_EXAMPLES = {
     "quickstart.py": "PAD moves Z one L1 line away",
@@ -27,6 +40,7 @@ def test_example_runs(tmp_path, script, needle):
         text=True,
         timeout=300,
         cwd=tmp_path,  # artifacts (SVGs) land in a scratch dir
+        env=_env_with_src(),
     )
     assert result.returncode == 0, result.stderr
     assert needle in result.stdout
