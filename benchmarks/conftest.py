@@ -1,0 +1,23 @@
+"""Benchmark-suite hooks: record timings to BENCH_search.json.
+
+Runs after any ``pytest benchmarks`` session.  Recording is best-effort:
+a missing pytest-benchmark session (e.g. ``--benchmark-disable``) or an
+unwritable path must never fail the suite.
+"""
+
+from __future__ import annotations
+
+from benchmarks import recorder
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        bsession = getattr(session.config, "_benchmarksession", None)
+        if bsession is None:
+            return
+        rows = recorder.summarize(bsession.benchmarks)
+        path = recorder.append_session(rows)
+        if path is not None:
+            print(f"\n[bench] wrote {len(rows)} timing(s) to {path}")
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        print(f"\n[bench] recording skipped: {exc}")

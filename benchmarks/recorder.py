@@ -1,0 +1,102 @@
+"""Machine-readable benchmark output.
+
+pytest-benchmark prints a human table and forgets it; this module gives
+the suite a durable artifact instead.  Every benchmark session appends a
+summary of its timings to ``BENCH_search.json`` (override the path with
+``$REPRO_BENCH_JSON``, set it to ``0``/``off`` to disable), so the perf
+trajectory of the simulator and the search subsystem can be tracked
+across commits by diffing one small JSON file.
+
+The file holds a list of session records, newest last::
+
+    [
+      {
+        "timestamp": "2026-08-05T12:00:00+00:00",
+        "benchmarks": [
+          {"name": "test_bench_search", "mean_s": 0.41,
+           "min_s": 0.40, "max_s": 0.42, "rounds": 2},
+          ...
+        ]
+      },
+      ...
+    ]
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+from typing import Any
+
+ENV_BENCH_JSON = "REPRO_BENCH_JSON"
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+#: Values of $REPRO_BENCH_JSON that turn recording off entirely.
+_DISABLED = {"0", "off", "none", ""}
+
+
+def output_path() -> pathlib.Path | None:
+    """Where to write, or ``None`` when recording is disabled."""
+    env = os.environ.get(ENV_BENCH_JSON)
+    if env is None:
+        return DEFAULT_PATH
+    if env.strip().lower() in _DISABLED:
+        return None
+    return pathlib.Path(env)
+
+
+def summarize(benchmarks) -> list[dict[str, Any]]:
+    """Per-benchmark timing summaries from pytest-benchmark's records."""
+    rows = []
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        # pytest-benchmark nests Metadata.stats -> Stats (attribute access).
+        stats = getattr(stats, "stats", stats)
+        if stats is None:
+            continue
+        rows.append(
+            {
+                "name": bench.name,
+                "group": getattr(bench, "group", None),
+                "mean_s": round(stats.mean, 6),
+                "min_s": round(stats.min, 6),
+                "max_s": round(stats.max, 6),
+                "rounds": stats.rounds,
+            }
+        )
+    return rows
+
+
+def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None):
+    """Append one session record; returns the path written (or ``None``).
+
+    Corrupt or foreign existing content is renamed aside rather than
+    destroyed, so a bad merge can never silently eat the history.
+    """
+    if path is None:
+        path = output_path()
+    if path is None or not rows:
+        return None
+    history: list[Any] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, list):
+                history = existing
+            else:
+                path.rename(path.with_suffix(".json.bak"))
+        except (json.JSONDecodeError, OSError):
+            path.rename(path.with_suffix(".json.bak"))
+    history.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "benchmarks": rows,
+        }
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return path

@@ -1,0 +1,55 @@
+"""Benchmark: one autotuning round (ext_search on a small kernel pair).
+
+Also pins the recorder's JSON format, since BENCH_search.json is the
+artifact downstream tooling will diff.
+"""
+
+import json
+
+from benchmarks import recorder
+from repro.experiments import ext_search
+
+
+def run():
+    return ext_search.run(quick=True, programs=["dot", "jacobi"], budget=8)
+
+
+def test_bench_search(benchmark):
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert [r.program for r in result.rows] == ["dot", "jacobi"]
+    for row in result.rows:
+        assert row.searched_objective <= row.heuristic_objective
+
+
+def test_recorder_appends_sessions(tmp_path):
+    path = tmp_path / "bench.json"
+    rows = [{"name": "x", "group": None, "mean_s": 0.1, "min_s": 0.1,
+             "max_s": 0.1, "rounds": 2}]
+    assert recorder.append_session(rows, path) == path
+    recorder.append_session(rows, path)
+    history = json.loads(path.read_text())
+    assert len(history) == 2
+    for session in history:
+        assert session["benchmarks"] == rows
+        assert "timestamp" in session
+
+
+def test_recorder_moves_corrupt_file_aside(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("not json{")
+    rows = [{"name": "x", "mean_s": 0.1, "min_s": 0.1, "max_s": 0.1,
+             "group": None, "rounds": 1}]
+    recorder.append_session(rows, path)
+    assert json.loads(path.read_text())[0]["benchmarks"] == rows
+    assert (tmp_path / "bench.json.bak").exists()
+
+
+def test_recorder_disabled_by_env(monkeypatch):
+    monkeypatch.setenv(recorder.ENV_BENCH_JSON, "off")
+    assert recorder.output_path() is None
+    assert recorder.append_session([{"name": "x"}]) is None
+
+
+def test_recorder_skips_empty_sessions(tmp_path):
+    assert recorder.append_session([], tmp_path / "bench.json") is None
+    assert not (tmp_path / "bench.json").exists()

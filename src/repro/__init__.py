@@ -15,6 +15,8 @@ The package implements, from scratch, every system the paper relies on:
   L2MAXPAD padding, loop permutation, fusion, and tiling with
   self-interference-free tile-size selection;
 * :mod:`repro.kernels` -- the Table 1 programs as IR + runnable NumPy code;
+* :mod:`repro.search` -- empirical autotuning over pad/tile/fusion spaces,
+  stress-testing the heuristics against searched-optimal configurations;
 * :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -65,8 +67,20 @@ from repro.driver import (
     StrategyOutcome,
     evaluate_strategies,
     optimize,
+    optimize_searched,
 )
 from repro.exec import ResultStore, SimJob, SweepExecutor
+from repro.search import (
+    Autotuner,
+    CoordinateDescent,
+    ExhaustiveSearch,
+    RandomSearch,
+    SearchReport,
+    SearchSpace,
+    fusion_space,
+    pad_space,
+    tile_space,
+)
 from repro.errors import (
     AnalysisError,
     ConfigError,
@@ -106,6 +120,7 @@ __all__ = [
     "simulate_program",
     "simulate_nest",
     "optimize",
+    "optimize_searched",
     "evaluate_strategies",
     "OptimizationReport",
     "StrategyOutcome",
@@ -113,6 +128,16 @@ __all__ = [
     "SimJob",
     "SweepExecutor",
     "ResultStore",
+    # empirical autotuning
+    "SearchSpace",
+    "pad_space",
+    "tile_space",
+    "fusion_space",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "CoordinateDescent",
+    "Autotuner",
+    "SearchReport",
     # errors
     "ReproError",
     "ConfigError",

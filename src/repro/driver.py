@@ -37,7 +37,13 @@ from repro.transforms.maxpad import l2maxpad
 from repro.transforms.pad import multilvl_pad, pad
 from repro.transforms.permute import memory_order
 
-__all__ = ["optimize", "evaluate_strategies", "OptimizationReport", "StrategyOutcome"]
+__all__ = [
+    "optimize",
+    "optimize_searched",
+    "evaluate_strategies",
+    "OptimizationReport",
+    "StrategyOutcome",
+]
 
 STRATEGIES = ("PAD", "L1", "L1&L2")
 
@@ -161,6 +167,62 @@ def optimize(
             report.log(f"L2MAXPAD: pads={layout.pads}")
 
     return program, layout, report
+
+
+def optimize_searched(
+    program: Program,
+    hierarchy: HierarchyConfig,
+    strategy: str = "L1&L2",
+    budget: int | None = 64,
+    seed: int = 0,
+    search_strategy: str = "coordinate",
+    max_lines: int = 8,
+    workers: int | None = None,
+    store=None,
+    executor=None,
+):
+    """The heuristic pipeline plus an empirical pad-search refinement.
+
+    Runs :func:`optimize` as usual, then searches the inter-variable pad
+    space around the heuristic layout with the :mod:`repro.search`
+    autotuner, seeded *with* the heuristic pads -- so the returned layout
+    is never worse (under the miss-cost objective) than what the paper's
+    recipe produced, and the report records how much the search moved.
+
+    Returns ``(program, layout, report, search_report)``.
+    """
+    from repro.search import Autotuner, pad_space
+
+    program, layout, report = optimize(program, hierarchy, strategy=strategy)
+    searched_arrays = layout.order[1:]
+    heuristic_config = tuple(
+        layout.pads[layout.index_of(a)] for a in searched_arrays
+    )
+    space = pad_space(
+        program, layout, hierarchy,
+        max_lines=max_lines,
+        include=dict(zip(searched_arrays, heuristic_config)),
+        name=f"pad[{program.name}:{strategy}]",
+    )
+    tuner = Autotuner(executor=executor, workers=workers, store=store)
+    search_report = tuner.search(
+        space,
+        strategy=search_strategy,
+        budget=budget,
+        seed=seed,
+        baseline=heuristic_config,
+    )
+    best_layout = layout.with_pads(
+        dict(zip(searched_arrays, search_report.best_config))
+    )
+    report.log(
+        f"search({search_report.strategy}, budget={budget}): "
+        f"objective {search_report.baseline_objective:.6g} -> "
+        f"{search_report.best_objective:.6g} "
+        f"(gap {search_report.gap_pct:+.2f}%) in "
+        f"{search_report.evaluations} evaluations"
+    )
+    return program, best_layout, report, search_report
 
 
 @dataclass(frozen=True)

@@ -85,6 +85,19 @@ class ExecStats:
         jobs overlap in the pool)."""
         return sum(r.seconds for r in self.records if r.source != "cache")
 
+    @classmethod
+    def merged(cls, runs: "list[ExecStats]") -> "ExecStats":
+        """Aggregate several runs' stats into one (batch evaluators, search).
+
+        Wall time adds up (the runs happened sequentially); records
+        concatenate, so every hit/miss/timing property keeps working.
+        """
+        out = cls(workers=max((r.workers for r in runs), default=1))
+        for r in runs:
+            out.wall_seconds += r.wall_seconds
+            out.records.extend(r.records)
+        return out
+
     def format(self) -> str:
         """One observability line for CLI output."""
         pooled = sum(1 for r in self.records if r.source == "pool")
@@ -202,6 +215,19 @@ class SweepExecutor:
         self.stats = stats
         self.history.append(stats)
         return results  # type: ignore[return-value]
+
+    def mark(self) -> int:
+        """Checkpoint for :meth:`cumulative_stats` (current history length)."""
+        return len(self.history)
+
+    def cumulative_stats(self, since: int = 0) -> ExecStats:
+        """Merged stats of every run since a :meth:`mark` checkpoint.
+
+        Multi-round drivers (the autotuner, the experiments CLI) call
+        :meth:`run` many times; this is the one-line summary across all
+        of those rounds.
+        """
+        return ExecStats.merged(self.history[since:])
 
 
 def run_jobs(

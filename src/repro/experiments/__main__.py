@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments table1
     python -m repro.experiments fig9 [--quick]
     python -m repro.experiments fig11 --workers 4          # parallel sweep
+    python -m repro.experiments ext_search --workers 4 --budget 64
     python -m repro.experiments all --quick --out results/
 
 Simulations fan out across ``--workers`` processes and are memoized in an
@@ -27,6 +28,7 @@ from repro.exec.executor import SweepExecutor
 from repro.exec.store import ENV_CACHE_DIR, ResultStore
 from repro.experiments import (
     ext_associativity,
+    ext_search,
     ext_three_level,
     ext_timetile,
     ext_tlb,
@@ -52,6 +54,7 @@ EXPERIMENTS = {
     "threelevel": ext_three_level,
     "tlb": ext_tlb,
     "timetile": ext_timetile,
+    "ext_search": ext_search,
 }
 
 
@@ -95,7 +98,13 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk result store",
     )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="B",
+        help="evaluation budget for search experiments (per kernel)",
+    )
     args = parser.parse_args(argv)
+    if args.budget is not None and args.budget < 1:
+        parser.error(f"--budget must be >= 1, got {args.budget}")
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
@@ -110,15 +119,21 @@ def main(argv: list[str] | None = None) -> int:
         # Experiments that simulate accept the executor; table1/timing
         # (inventory and wall-clock measurement) run as before.
         kwargs = {"quick": args.quick}
-        if "executor" in inspect.signature(module.run).parameters:
+        params = inspect.signature(module.run).parameters
+        if "executor" in params:
             kwargs["executor"] = executor
+        if "budget" in params and args.budget is not None:
+            kwargs["budget"] = args.budget
+        mark = executor.mark()
         t0 = time.time()
         result = module.run(**kwargs)
         report = result.format()
         elapsed = time.time() - t0
         print(f"==== {name} ({elapsed:.1f}s) ====")
         if "executor" in kwargs:
-            print(f"[exec] {executor.stats.format()}")
+            # Cumulative over every sweep round the experiment ran --
+            # search experiments drive the executor many times per run.
+            print(f"[exec] {executor.cumulative_stats(mark).format()}")
         print(report)
         print()
         if args.out is not None:

@@ -1,0 +1,90 @@
+"""Objectives: what the autotuner minimizes.
+
+The contract is deliberately small: an :class:`Objective` maps one
+simulated :class:`~repro.cache.stats.SimulationResult` (plus the hierarchy
+it ran on) to a single float, and **lower is better**.  Everything the
+strategies and the tuner do -- comparisons, trajectories, gaps -- relies
+only on that ordering, so any pure function of the miss statistics plugs
+in.
+
+Built-ins:
+
+* :func:`miss_cost_objective` -- miss counts weighted by the hierarchy's
+  per-level penalties (:class:`~repro.analysis.costmodel.MissCostModel`),
+  the same scaling the paper uses for fusion profitability (Section 4);
+* :func:`miss_rate_objective` -- one level's raw miss rate (paper
+  normalization: misses over *total* references);
+* :func:`cycles_objective` -- the full cycle model including hit costs
+  (what the figures' "execution time improvement" axes derive from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.costmodel import MissCostModel
+from repro.cache.config import HierarchyConfig
+from repro.cache.stats import SimulationResult
+
+__all__ = [
+    "Objective",
+    "miss_cost_objective",
+    "miss_rate_objective",
+    "cycles_objective",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named, minimized figure of merit over simulation results."""
+
+    name: str
+    fn: Callable[[SimulationResult, HierarchyConfig], float] = field(
+        compare=False, repr=False
+    )
+
+    def __call__(self, result: SimulationResult, hierarchy: HierarchyConfig) -> float:
+        return float(self.fn(result, hierarchy))
+
+
+def miss_cost_objective() -> Objective:
+    """Penalty cycles of all misses, weighted per level (Section 4 scaling).
+
+    L1 misses pay the next level's hit cost; references that miss every
+    level pay the memory cost.  Hit costs are excluded -- every config of
+    a pad/tile space issues the same references, so the hit term is a
+    constant offset that only compresses relative gaps.
+    """
+
+    def fn(result: SimulationResult, hierarchy: HierarchyConfig) -> float:
+        model = MissCostModel.from_hierarchy(hierarchy)
+        l1_misses = result.levels[0].misses
+        to_memory = result.memory_refs
+        # Intermediate-level misses (3+ level hierarchies) pay their own
+        # next-level costs on top of the L1/memory endpoints.
+        extra = sum(
+            lv.misses * hierarchy.miss_cycles(i)
+            for i, lv in enumerate(result.levels[1:-1], start=1)
+        )
+        return model.weighted(l1_misses, to_memory) + extra
+
+    return Objective(name="miss-cost", fn=fn)
+
+
+def miss_rate_objective(level: str = "L1") -> Objective:
+    """One level's miss rate, normalized to total references (paper norm)."""
+
+    def fn(result: SimulationResult, hierarchy: HierarchyConfig) -> float:
+        return result.miss_rate(level)
+
+    return Objective(name=f"{level}-miss-rate", fn=fn)
+
+
+def cycles_objective() -> Objective:
+    """The full additive cycle model (hits + misses at every level)."""
+
+    def fn(result: SimulationResult, hierarchy: HierarchyConfig) -> float:
+        return result.cycles(hierarchy)
+
+    return Objective(name="cycles", fn=fn)

@@ -1,0 +1,352 @@
+"""Configuration spaces for empirical search.
+
+A :class:`SearchSpace` is a finite Cartesian product of integer-valued
+:class:`Dimension`\\ s plus a rule that materializes any point of the
+product as a :class:`~repro.exec.jobs.SimJob`.  Strategies only ever see
+the product structure (dimension names, choice lists, membership tests);
+the job builder is what ties a point back to a concrete (program, layout,
+hierarchy) simulation.
+
+Three concrete spaces cover the paper's tuning decisions:
+
+* :func:`pad_space` -- inter-variable pad vectors, one dimension per
+  array after the first (a uniform shift of the whole block cannot change
+  any inter-variable conflict).  Choices step by ``Lmax`` (the MULTILVLPAD
+  granularity, valid at every level because each cache size divides the
+  next) and optionally extend by multiples of ``S1``, which move an array
+  in the L2 while leaving its L1 mapping fixed -- exactly L2MAXPAD's trick.
+* :func:`tile_space` -- W x H tile edges for the Figure 8 tiled matrix
+  multiply, up to L2-sized edges (Section 5).
+* :func:`fusion_space` -- binary fuse/no-fuse decisions for each
+  adjacent compatible nest pair (Section 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.cache.config import HierarchyConfig
+from repro.errors import ReproError
+from repro.exec.jobs import SimJob
+from repro.ir.program import Program
+from repro.layout.layout import DataLayout
+
+__all__ = [
+    "Dimension",
+    "SearchSpace",
+    "pad_space",
+    "tile_space",
+    "fusion_space",
+]
+
+Config = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One searchable axis: a name and its finite, ordered choice list."""
+
+    name: str
+    choices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "choices", tuple(int(c) for c in self.choices))
+        if not self.choices:
+            raise ReproError(f"dimension {self.name!r} has no choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ReproError(f"dimension {self.name!r} has duplicate choices")
+
+    def nearest(self, value: int) -> int:
+        """The choice closest to ``value`` (ties go to the smaller choice)."""
+        return min(self.choices, key=lambda c: (abs(c - value), c))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A finite product of dimensions with a job-materialization rule.
+
+    ``job_builder`` maps a config (one value per dimension, in dimension
+    order) to the :class:`SimJob` that measures it; it is excluded from
+    equality so spaces compare by structure.
+    """
+
+    name: str
+    dimensions: tuple[Dimension, ...]
+    job_builder: Callable[[Config], SimJob] = field(compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+        if not self.dimensions:
+            raise ReproError(f"search space {self.name!r} has no dimensions")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ReproError(f"search space {self.name!r} has duplicate dimensions")
+
+    # -- product structure ---------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of points in the space."""
+        n = 1
+        for d in self.dimensions:
+            n *= len(d.choices)
+        return n
+
+    def contains(self, config: Sequence[int]) -> bool:
+        """True when ``config`` is a point of this space."""
+        config = tuple(config)
+        return len(config) == len(self.dimensions) and all(
+            v in d.choices for v, d in zip(config, self.dimensions)
+        )
+
+    def validate(self, config: Sequence[int]) -> Config:
+        """``config`` as a canonical tuple; raises when outside the space."""
+        cfg = tuple(int(v) for v in config)
+        if not self.contains(cfg):
+            raise ReproError(f"config {cfg} is not in search space {self.name!r}")
+        return cfg
+
+    def default_config(self) -> Config:
+        """The first choice of every dimension (the un-transformed point)."""
+        return tuple(d.choices[0] for d in self.dimensions)
+
+    def configs(self) -> Iterator[Config]:
+        """All points, in deterministic lexicographic (choice-order) order."""
+        return itertools.product(*(d.choices for d in self.dimensions))
+
+    def random_config(self, rng: random.Random) -> Config:
+        """One uniformly drawn point (deterministic for a seeded ``rng``)."""
+        return tuple(rng.choice(d.choices) for d in self.dimensions)
+
+    def axis_configs(self, config: Sequence[int], dim_index: int) -> list[Config]:
+        """All points reachable from ``config`` by varying one dimension."""
+        cfg = self.validate(config)
+        out = []
+        for choice in self.dimensions[dim_index].choices:
+            candidate = list(cfg)
+            candidate[dim_index] = choice
+            out.append(tuple(candidate))
+        return out
+
+    def nearest_config(self, values: Sequence[int]) -> Config:
+        """Snap arbitrary per-dimension values onto the grid."""
+        if len(values) != len(self.dimensions):
+            raise ReproError(
+                f"expected {len(self.dimensions)} values, got {len(values)}"
+            )
+        return tuple(d.nearest(int(v)) for v, d in zip(values, self.dimensions))
+
+    # -- materialization -----------------------------------------------------
+    def job(self, config: Sequence[int]) -> SimJob:
+        """The simulation measuring one point of the space."""
+        return self.job_builder(self.validate(config))
+
+    def describe(self, config: Sequence[int]) -> str:
+        """Human-readable ``dim=value`` rendering of a point."""
+        cfg = self.validate(config)
+        return ", ".join(
+            f"{d.name}={v}" for d, v in zip(self.dimensions, cfg)
+        )
+
+
+# -- pad space ---------------------------------------------------------------
+
+def pad_space(
+    program: Program,
+    layout: DataLayout,
+    hierarchy: HierarchyConfig,
+    kernel=None,
+    max_lines: int = 8,
+    l2_multiples: int = 1,
+    include: Mapping[str, int] | None = None,
+    name: str | None = None,
+) -> SearchSpace:
+    """Inter-variable pad vectors around a base layout.
+
+    One dimension per array in ``layout.order`` except the first: padding
+    the first array shifts every array by the same amount, which leaves
+    all inter-variable distances -- the only thing severe-conflict
+    behaviour depends on -- unchanged.
+
+    Each dimension's choices are ``k * Lmax`` for ``k in [0, max_lines)``
+    (``Lmax`` = the hierarchy's largest line size, the granularity at
+    which MULTILVLPAD is guaranteed safe for every level), optionally
+    crossed with ``m * S1`` for ``m in [0, l2_multiples)`` -- S1-sized
+    pads leave the L1 mapping of everything downstream intact while
+    moving it in larger caches (the L2MAXPAD mechanism).  ``include``
+    merges extra per-array pad values into the grid, so a heuristic
+    layout's exact pads can be made representable and used to seed a
+    search.
+    """
+    if max_lines < 1:
+        raise ReproError(f"max_lines must be >= 1, got {max_lines}")
+    if l2_multiples < 1:
+        raise ReproError(f"l2_multiples must be >= 1, got {l2_multiples}")
+    include = dict(include or {})
+    unknown = set(include) - set(layout.order)
+    if unknown:
+        raise ReproError(f"include names unknown arrays: {sorted(unknown)}")
+    step = hierarchy.max_line_size
+    s1 = hierarchy.l1.size
+    dims = []
+    for arr in layout.order[1:]:
+        choices = {
+            k * step + m * s1
+            for k in range(max_lines)
+            for m in range(l2_multiples)
+        }
+        if arr in include:
+            choices.add(int(include[arr]))
+        dims.append(Dimension(name=f"pad:{arr}", choices=tuple(sorted(choices))))
+    searched = tuple(layout.order[1:])
+
+    def build(config: Config) -> SimJob:
+        padded = layout.with_pads(dict(zip(searched, config)))
+        if kernel is not None:
+            return SimJob.for_kernel(
+                kernel, program, padded, hierarchy, tag=("search", config)
+            )
+        return SimJob(
+            program=program, layout=padded, hierarchy=hierarchy,
+            tag=("search", config),
+        )
+
+    return SearchSpace(
+        name=name or f"pad[{program.name}]",
+        dimensions=tuple(dims),
+        job_builder=build,
+    )
+
+
+# -- tile space --------------------------------------------------------------
+
+def _edge_ladder(n: int, max_edge: int) -> tuple[int, ...]:
+    """Geometric candidate tile edges ``4, 6, 9, 13, ...`` up to the bound."""
+    bound = max(1, min(n, max_edge))
+    edges = {bound}
+    e = 4
+    while e < bound:
+        edges.add(e)
+        e = max(e + 1, e * 3 // 2)
+    return tuple(sorted(edges))
+
+
+def tile_space(
+    n: int,
+    hierarchy: HierarchyConfig,
+    element_size: int = 8,
+    widths: Sequence[int] | None = None,
+    heights: Sequence[int] | None = None,
+    name: str | None = None,
+) -> SearchSpace:
+    """W x H tile edges for the tiled matrix multiply of Figure 8.
+
+    Edges default to a geometric ladder bounded so a single tile edge
+    never exceeds what an L2-sized tile could use (Section 5 considers
+    tiles up to L2-sized); degenerate or over-capacity combinations are
+    legal points -- the objective simply rates them poorly.
+    """
+    from repro.kernels import matmul  # local: keeps module import light
+
+    l2 = hierarchy.l2.size if len(hierarchy) > 1 else hierarchy.l1.size
+    max_edge = max(4, l2 // (element_size * 4))
+    w_choices = tuple(widths) if widths is not None else _edge_ladder(n, max_edge)
+    h_choices = tuple(heights) if heights is not None else _edge_ladder(n, max_edge)
+    dims = (
+        Dimension(name="tile:w", choices=w_choices),
+        Dimension(name="tile:h", choices=h_choices),
+    )
+
+    def build(config: Config) -> SimJob:
+        w, h = config
+        program = matmul.build_tiled(n, w, h)
+        return SimJob(
+            program=program,
+            layout=DataLayout.sequential(program),
+            hierarchy=hierarchy,
+            tag=("search", config),
+        )
+
+    return SearchSpace(
+        name=name or f"tile[matmul-{n}]", dimensions=dims, job_builder=build
+    )
+
+
+# -- fusion space ------------------------------------------------------------
+
+def fusion_space(
+    program: Program,
+    hierarchy: HierarchyConfig,
+    layout_for: Callable[[Program], DataLayout] | None = None,
+    check: str = "strict",
+    name: str | None = None,
+) -> SearchSpace:
+    """Fuse/no-fuse decisions over the program's adjacent compatible pairs.
+
+    One binary dimension per adjacent nest pair that :func:`can_fuse`
+    accepts in the *original* program.  Decisions apply left to right; a
+    decision whose pair has been absorbed into an earlier fusion (or that
+    fails the dependence check after earlier fusions) is skipped, so every
+    point of the hypercube is a valid program.  ``layout_for`` lays out
+    each candidate (default: GROUPPAD for L1, then L2MAXPAD when the
+    hierarchy has a second level, as the driver does).
+    """
+    from repro.transforms.fusion import can_fuse, fuse_nests, fusion_dependence_ok
+    from repro.transforms.grouppad import grouppad
+    from repro.transforms.maxpad import l2maxpad
+
+    pairs = [
+        i
+        for i in range(len(program.nests) - 1)
+        if can_fuse(program.nests[i], program.nests[i + 1])
+    ]
+    if not pairs:
+        raise ReproError(
+            f"program {program.name!r} has no adjacent fusable nest pairs"
+        )
+    dims = tuple(
+        Dimension(name=f"fuse:{program.nests[i].label}+{program.nests[i + 1].label}",
+                  choices=(0, 1))
+        for i in pairs
+    )
+
+    def default_layout(p: Program) -> DataLayout:
+        lay = grouppad(
+            p, DataLayout.sequential(p), hierarchy.l1.size, hierarchy.l1.line_size
+        )
+        if len(hierarchy) > 1:
+            lay = l2maxpad(p, lay, hierarchy)
+        return lay
+
+    make_layout = layout_for or default_layout
+
+    def build(config: Config) -> SimJob:
+        out = program
+        # current index of each original nest; fused nests share an index.
+        current = list(range(len(program.nests)))
+        for pair_index, decision in zip(pairs, config):
+            if not decision:
+                continue
+            a, b = current[pair_index], current[pair_index + 1]
+            if a == b:
+                continue  # already merged by an earlier decision
+            if not can_fuse(out.nests[a], out.nests[b]):
+                continue
+            if check == "strict" and not fusion_dependence_ok(
+                out, out.nests[a], out.nests[b]
+            ):
+                continue
+            out = fuse_nests(out, a, b, check="none")
+            current = [c if c <= a else c - 1 for c in current]
+        return SimJob(
+            program=out,
+            layout=make_layout(out),
+            hierarchy=hierarchy,
+            tag=("search", config),
+        )
+
+    return SearchSpace(
+        name=name or f"fusion[{program.name}]", dimensions=dims, job_builder=build
+    )

@@ -1,0 +1,182 @@
+"""Search strategies over a :class:`~repro.search.space.SearchSpace`.
+
+A strategy is *policy only*: it proposes batches of configs and reads
+back their objective values through an ``evaluate`` callback supplied by
+the :class:`~repro.search.tuner.Autotuner`.  Simulation, memoization,
+budget accounting, and best-so-far tracking all live in the tuner, so a
+strategy is a small deterministic loop:
+
+* it must propose only configs inside the space;
+* it must be a pure function of (space, evaluate results, rng) -- a
+  fixed seed reproduces the exact proposal sequence;
+* it may be interrupted at any batch boundary by the tuner's budget
+  (``evaluate`` raises, the tuner catches).
+
+Batches matter: every list passed to one ``evaluate`` call becomes one
+:class:`~repro.exec.executor.SweepExecutor` run, so proposals in a batch
+simulate in parallel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Protocol, Sequence
+
+from repro.errors import ReproError
+from repro.search.space import Config, SearchSpace
+
+__all__ = [
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "CoordinateDescent",
+    "STRATEGIES",
+    "get_strategy",
+]
+
+Evaluate = Callable[[Sequence[Config]], list[float]]
+
+
+class SearchStrategy(Protocol):
+    """The policy interface: propose configs, consume their objectives."""
+
+    name: str
+
+    def run(
+        self,
+        space: SearchSpace,
+        evaluate: Evaluate,
+        rng: random.Random,
+        start: Config | None = None,
+    ) -> None:
+        """Drive the search until done (the tuner's budget may cut it short)."""
+        ...  # pragma: no cover - protocol
+
+
+def _batched(it: Iterable[Config], size: int) -> Iterable[list[Config]]:
+    batch: list[Config] = []
+    for item in it:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class ExhaustiveSearch:
+    """Visit every point of the space, in deterministic grid order.
+
+    Only sensible for small spaces (the tuner's budget still applies);
+    within a batch all points simulate in parallel.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, batch_size: int = 32):
+        if batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def run(self, space, evaluate, rng, start=None) -> None:
+        for batch in _batched(space.configs(), self.batch_size):
+            evaluate(batch)
+
+
+class RandomSearch:
+    """Seeded uniform sampling without replacement.
+
+    Stops after ``samples`` draws (None = run until the tuner's budget, or
+    the whole space, is exhausted).  The draw sequence depends only on the
+    seed, so runs are reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, samples: int | None = None, batch_size: int = 16):
+        if samples is not None and samples < 1:
+            raise ReproError(f"samples must be >= 1, got {samples}")
+        if batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+        self.samples = samples
+        self.batch_size = batch_size
+
+    def run(self, space, evaluate, rng, start=None) -> None:
+        seen: set[Config] = set()
+        if start is not None:
+            seen.add(space.validate(start))
+        target = self.samples if self.samples is not None else space.size
+        drawn = 0
+        while drawn < target and len(seen) < space.size:
+            batch: list[Config] = []
+            # Rejection-sample unseen points; bounded so a nearly-covered
+            # space cannot stall the loop.
+            attempts = 0
+            limit = 50 * self.batch_size
+            while (
+                len(batch) < min(self.batch_size, target - drawn)
+                and attempts < limit
+                and len(seen) + len(batch) < space.size
+            ):
+                attempts += 1
+                cfg = space.random_config(rng)
+                if cfg not in seen and cfg not in batch:
+                    batch.append(cfg)
+            if not batch:
+                break
+            evaluate(batch)
+            seen.update(batch)
+            drawn += len(batch)
+
+
+class CoordinateDescent:
+    """Axis-by-axis descent from a start point (hill-climbing on a grid).
+
+    Each round evaluates *every* choice along one dimension (one parallel
+    batch) and moves to the best; a full pass over all dimensions without
+    movement means convergence.  Ties break toward the smaller choice
+    index, keeping the walk deterministic.
+    """
+
+    name = "coordinate"
+
+    def __init__(self, max_passes: int = 8):
+        if max_passes < 1:
+            raise ReproError(f"max_passes must be >= 1, got {max_passes}")
+        self.max_passes = max_passes
+
+    def run(self, space, evaluate, rng, start=None) -> None:
+        current = space.validate(start) if start is not None else space.default_config()
+        (current_value,) = evaluate([current])
+        for _ in range(self.max_passes):
+            moved = False
+            for dim_index in range(len(space.dimensions)):
+                axis = space.axis_configs(current, dim_index)
+                values = evaluate(axis)
+                best_i = min(range(len(axis)), key=lambda i: (values[i], i))
+                if values[best_i] < current_value and axis[best_i] != current:
+                    current, current_value = axis[best_i], values[best_i]
+                    moved = True
+            if not moved:
+                return
+
+
+STRATEGIES: dict[str, Callable[[], SearchStrategy]] = {
+    "exhaustive": ExhaustiveSearch,
+    "random": RandomSearch,
+    "coordinate": CoordinateDescent,
+}
+
+
+def get_strategy(spec: "str | SearchStrategy") -> SearchStrategy:
+    """A strategy instance from a name (or pass an instance through)."""
+    if isinstance(spec, str):
+        try:
+            return STRATEGIES[spec]()
+        except KeyError:
+            raise ReproError(
+                f"unknown strategy {spec!r}; choose from {sorted(STRATEGIES)}"
+            ) from None
+    if hasattr(spec, "run") and hasattr(spec, "name"):
+        return spec
+    raise ReproError(f"not a search strategy: {spec!r}")

@@ -80,7 +80,7 @@ class TestCLI:
     def test_experiment_registry(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "timing",
-            "associativity", "threelevel", "tlb", "timetile",
+            "associativity", "threelevel", "tlb", "timetile", "ext_search",
         }
 
     def test_main_table1(self, capsys, tmp_path):

@@ -1,0 +1,52 @@
+"""Shared fixtures for the search subsystem tests.
+
+Everything here is sized for speed: a two-array ping-pong kernel on a
+1 KB L1 thrashes maximally under the sequential layout (both arrays map
+to identical cache positions) yet simulates in well under a millisecond,
+so even hypothesis-driven tuner runs stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.cache.config import CacheConfig, HierarchyConfig
+
+PING_N = 256  # elements per array; 2 KB arrays on a 1 KB L1 -> resonance
+
+
+def build_pingpong(n: int = PING_N):
+    """``B[i] = A[i]`` with both arrays cache-size-resonant."""
+    b = ProgramBuilder("pingpong")
+    A = b.array("A", (n,))
+    B = b.array("B", (n,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.assign(B[i], reads=[A[i]], flops=1)])
+    return b.build()
+
+
+def build_tiny_hier():
+    """A miniature two-level hierarchy (1 KB/32 B L1, 8 KB/64 B L2)."""
+    return HierarchyConfig(
+        levels=(
+            CacheConfig(size=1024, line_size=32, name="L1", hit_cycles=1.0),
+            CacheConfig(size=8192, line_size=64, name="L2", hit_cycles=6.0),
+        ),
+        memory_cycles=50.0,
+    )
+
+
+@pytest.fixture
+def tiny_hier():
+    return build_tiny_hier()
+
+
+@pytest.fixture
+def pingpong():
+    return build_pingpong()
+
+
+@pytest.fixture
+def pingpong_layout(pingpong):
+    return DataLayout.sequential(pingpong)

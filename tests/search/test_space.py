@@ -1,0 +1,183 @@
+"""SearchSpace structure and the three concrete space builders."""
+
+import pytest
+
+from repro import DataLayout, ultrasparc_i
+from repro.errors import ReproError
+from repro.exec.jobs import SimJob
+from repro.search.space import (
+    Dimension,
+    SearchSpace,
+    fusion_space,
+    pad_space,
+    tile_space,
+)
+from tests.conftest import build_fig2
+
+
+def _nojob(config):  # structure-only spaces never materialize jobs
+    raise AssertionError("job_builder should not be called")
+
+
+def make_space(*choice_lists):
+    return SearchSpace(
+        name="synthetic",
+        dimensions=tuple(
+            Dimension(name=f"d{i}", choices=tuple(cs))
+            for i, cs in enumerate(choice_lists)
+        ),
+        job_builder=_nojob,
+    )
+
+
+class TestSearchSpaceStructure:
+    def test_size_is_product(self):
+        assert make_space([0, 1, 2], [5, 7]).size == 6
+
+    def test_contains_and_validate(self):
+        s = make_space([0, 32], [0, 64])
+        assert s.contains((32, 0))
+        assert not s.contains((1, 0))
+        assert not s.contains((32,))
+        assert s.validate((32, 64)) == (32, 64)
+        with pytest.raises(ReproError):
+            s.validate((33, 64))
+
+    def test_configs_enumerates_all_deterministically(self):
+        s = make_space([0, 1], [0, 1])
+        assert list(s.configs()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_default_config_is_first_choices(self):
+        assert make_space([3, 9], [7, 1]).default_config() == (3, 7)
+
+    def test_axis_configs_vary_one_dimension(self):
+        s = make_space([0, 1, 2], [5, 7])
+        assert s.axis_configs((1, 7), 0) == [(0, 7), (1, 7), (2, 7)]
+        assert s.axis_configs((1, 7), 1) == [(1, 5), (1, 7)]
+
+    def test_nearest_config_snaps_to_grid(self):
+        s = make_space([0, 32, 64], [0, 128])
+        assert s.nearest_config((30, 1000)) == (32, 128)
+        with pytest.raises(ReproError):
+            s.nearest_config((30,))
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ReproError):
+            SearchSpace(
+                name="bad",
+                dimensions=(
+                    Dimension("x", (0, 1)),
+                    Dimension("x", (0, 1)),
+                ),
+                job_builder=_nojob,
+            )
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ReproError):
+            Dimension("x", ())
+        with pytest.raises(ReproError):
+            Dimension("x", (1, 1))
+
+
+class TestPadSpace:
+    def test_skips_first_array(self, hier):
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        space = pad_space(prog, lay, hier)
+        names = [d.name for d in space.dimensions]
+        assert names == ["pad:B", "pad:C"]  # A (first in layout) fixed
+
+    def test_choices_step_by_lmax(self, hier):
+        prog = build_fig2(64)
+        space = pad_space(prog, DataLayout.sequential(prog), hier, max_lines=4)
+        lmax = hier.max_line_size
+        for d in space.dimensions:
+            assert d.choices == (0, lmax, 2 * lmax, 3 * lmax)
+
+    def test_l2_multiples_add_s1_offsets(self, hier):
+        prog = build_fig2(64)
+        space = pad_space(
+            prog, DataLayout.sequential(prog), hier, max_lines=2, l2_multiples=2
+        )
+        s1, lmax = hier.l1.size, hier.max_line_size
+        assert space.dimensions[0].choices == (0, lmax, s1, s1 + lmax)
+
+    def test_include_merges_heuristic_pads(self, hier):
+        prog = build_fig2(64)
+        space = pad_space(
+            prog, DataLayout.sequential(prog), hier, max_lines=2,
+            include={"C": 12345},
+        )
+        assert 12345 in space.dimensions[1].choices
+        assert space.contains((0, 12345))
+
+    def test_include_unknown_array_rejected(self, hier):
+        prog = build_fig2(64)
+        with pytest.raises(ReproError):
+            pad_space(
+                prog, DataLayout.sequential(prog), hier, include={"nope": 0}
+            )
+
+    def test_job_applies_config_pads(self, hier):
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        space = pad_space(prog, lay, hier, max_lines=4)
+        lmax = hier.max_line_size
+        job = space.job((lmax, 2 * lmax))
+        assert isinstance(job, SimJob)
+        assert job.layout.pads[job.layout.index_of("B")] == lmax
+        assert job.layout.pads[job.layout.index_of("C")] == 2 * lmax
+        assert job.hierarchy == hier
+
+    def test_uniform_shift_irrelevance_justifies_fixed_first_pad(self, hier):
+        """Shifting every array by the same multiple of the largest line
+        size leaves miss counts unchanged -- the reason pad_space has no
+        dimension for the first array and steps its choices by Lmax."""
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        shifted = lay.with_pad("A", hier.max_line_size * 3)
+        r1 = SimJob(program=prog, layout=lay, hierarchy=hier).run()
+        r2 = SimJob(program=prog, layout=shifted, hierarchy=hier).run()
+        assert r1 == r2
+
+
+class TestTileSpace:
+    def test_dimensions_and_bounds(self):
+        hier = ultrasparc_i()
+        space = tile_space(100, hier)
+        assert [d.name for d in space.dimensions] == ["tile:w", "tile:h"]
+        for d in space.dimensions:
+            assert all(1 <= c <= 100 for c in d.choices)
+
+    def test_explicit_edges(self):
+        hier = ultrasparc_i()
+        space = tile_space(200, hier, widths=[8, 16], heights=[4, 32])
+        assert space.size == 4
+        job = space.job((16, 4))
+        assert "matmul" in job.program.name
+        # The tiled program gained the two tile-controlling loops.
+        assert len(job.program.nests[0].loops) == 5
+
+    def test_ladder_is_sorted_unique(self):
+        hier = ultrasparc_i()
+        space = tile_space(400, hier)
+        for d in space.dimensions:
+            assert list(d.choices) == sorted(set(d.choices))
+
+
+class TestFusionSpace:
+    def test_one_dimension_per_fusable_pair(self, hier):
+        prog = build_fig2(64)
+        space = fusion_space(prog, hier, check="none")
+        assert len(space.dimensions) == 1
+        assert space.dimensions[0].choices == (0, 1)
+
+    def test_decisions_change_nest_count(self, hier):
+        prog = build_fig2(64)
+        space = fusion_space(prog, hier, check="none")
+        assert len(space.job((0,)).program.nests) == 2
+        assert len(space.job((1,)).program.nests) == 1
+
+    def test_no_fusable_pairs_raises(self, hier, pingpong):
+        with pytest.raises(ReproError):
+            fusion_space(pingpong, hier)

@@ -1,0 +1,162 @@
+"""Strategy policy properties, independent of any simulation.
+
+Strategies only see the space and an ``evaluate`` callback, so these
+tests drive them with a pure synthetic objective and check the contract
+every strategy must honor: proposals stay inside the space, a fixed seed
+reproduces the exact proposal sequence, and search never "finds" a value
+the objective didn't produce.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.search.space import Dimension, SearchSpace
+from repro.search.strategies import (
+    STRATEGIES,
+    CoordinateDescent,
+    ExhaustiveSearch,
+    RandomSearch,
+    get_strategy,
+)
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+
+
+def _nojob(config):
+    raise AssertionError("strategies must not materialize jobs")
+
+
+def synth_objective(config):
+    """A bumpy but pure deterministic objective."""
+    return sum((i + 3) * v * v - 7 * v for i, v in enumerate(config)) % 101
+
+
+spaces = st.lists(
+    st.lists(st.integers(0, 20), min_size=1, max_size=4, unique=True),
+    min_size=1,
+    max_size=3,
+).map(
+    lambda dims: SearchSpace(
+        name="synthetic",
+        dimensions=tuple(
+            Dimension(name=f"d{i}", choices=tuple(sorted(cs)))
+            for i, cs in enumerate(dims)
+        ),
+        job_builder=_nojob,
+    )
+)
+
+
+def drive(strategy, space, seed=0, start=None):
+    """Run a strategy, recording every proposed config in order."""
+    proposed = []
+
+    def evaluate(configs):
+        proposed.extend(configs)
+        for c in configs:
+            assert space.contains(c), f"proposal {c} outside space"
+        return [synth_objective(c) for c in configs]
+
+    strategy.run(space, evaluate, random.Random(seed), start=start)
+    return proposed
+
+
+class TestContractAcrossStrategies:
+    @settings(max_examples=40, deadline=None)
+    @given(space=spaces, name=st.sampled_from(ALL_STRATEGIES), seed=st.integers(0, 99))
+    def test_proposals_in_space_and_deterministic(self, space, name, seed):
+        first = drive(get_strategy(name), space, seed=seed)
+        second = drive(get_strategy(name), space, seed=seed)
+        assert first == second
+        assert first, "every strategy must propose at least one config"
+
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces, name=st.sampled_from(ALL_STRATEGIES), seed=st.integers(0, 99))
+    def test_start_config_not_required(self, space, name, seed):
+        start = space.default_config()
+        proposed = drive(get_strategy(name), space, seed=seed, start=start)
+        assert all(space.contains(c) for c in proposed)
+
+
+class TestExhaustive:
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces)
+    def test_visits_every_point_exactly_once(self, space):
+        proposed = drive(ExhaustiveSearch(batch_size=7), space)
+        assert sorted(proposed) == sorted(space.configs())
+        assert len(set(proposed)) == len(proposed)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ReproError):
+            ExhaustiveSearch(batch_size=0)
+
+
+class TestRandom:
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces, seed=st.integers(0, 99))
+    def test_no_replacement(self, space, seed):
+        proposed = drive(RandomSearch(batch_size=3), space, seed=seed)
+        assert len(set(proposed)) == len(proposed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces, seed=st.integers(0, 99), k=st.integers(1, 6))
+    def test_sample_cap_respected(self, space, seed, k):
+        proposed = drive(RandomSearch(samples=k), space, seed=seed)
+        assert len(proposed) <= k
+
+    def test_start_is_excluded_from_draws(self):
+        space = SearchSpace(
+            name="two",
+            dimensions=(Dimension("d0", (0, 1)),),
+            job_builder=_nojob,
+        )
+        proposed = drive(RandomSearch(), space, seed=5, start=(0,))
+        assert (0,) not in proposed and (1,) in proposed
+
+    def test_params_validated(self):
+        with pytest.raises(ReproError):
+            RandomSearch(samples=0)
+        with pytest.raises(ReproError):
+            RandomSearch(batch_size=0)
+
+
+class TestCoordinateDescent:
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces, seed=st.integers(0, 99))
+    def test_never_ends_worse_than_start(self, space, seed):
+        start = space.default_config()
+        proposed = drive(CoordinateDescent(), space, seed=seed, start=start)
+        assert proposed[0] == start
+        assert min(map(synth_objective, proposed)) <= synth_objective(start)
+
+    @settings(max_examples=25, deadline=None)
+    @given(space=spaces)
+    def test_finds_axis_optimum_on_single_dimension(self, space):
+        """With one dimension, a coordinate sweep IS exhaustive search."""
+        if len(space.dimensions) != 1:
+            return
+        proposed = drive(CoordinateDescent(), space)
+        best = min(map(synth_objective, proposed))
+        true_best = min(synth_objective(c) for c in space.configs())
+        assert best == true_best
+
+    def test_params_validated(self):
+        with pytest.raises(ReproError):
+            CoordinateDescent(max_passes=0)
+
+
+class TestGetStrategy:
+    def test_by_name_and_passthrough(self):
+        assert get_strategy("random").name == "random"
+        inst = ExhaustiveSearch()
+        assert get_strategy(inst) is inst
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            get_strategy("simulated-annealing")
+        with pytest.raises(ReproError):
+            get_strategy(42)

@@ -68,6 +68,46 @@ class TestAffineReprEdges:
         assert repr(const(-5)) == "-5"
 
 
+class TestSearchExports:
+    """The autotuning subsystem is re-exported from the package root."""
+
+    SEARCH_NAMES = [
+        "SearchSpace",
+        "pad_space",
+        "tile_space",
+        "fusion_space",
+        "ExhaustiveSearch",
+        "RandomSearch",
+        "CoordinateDescent",
+        "Autotuner",
+        "SearchReport",
+        "optimize_searched",
+    ]
+
+    def test_names_in_package_all(self):
+        import repro
+
+        for name in self.SEARCH_NAMES:
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_root_exports_match_subpackage(self):
+        import repro
+        import repro.search
+
+        for name in self.SEARCH_NAMES:
+            if name == "optimize_searched":
+                continue  # lives in repro.driver, not repro.search
+            assert getattr(repro, name) is getattr(repro.search, name)
+
+    def test_strategy_registry_names(self):
+        from repro.search import STRATEGIES, get_strategy
+
+        assert set(STRATEGIES) == {"exhaustive", "random", "coordinate"}
+        for name in STRATEGIES:
+            assert get_strategy(name).name == name
+
+
 class TestKernelTraceDefaultPath:
     def test_affine_kernel_uses_generator(self):
         import numpy as np
