@@ -1,8 +1,10 @@
-"""Benchmark-suite hooks: record timings to BENCH_search.json.
+"""Benchmark-suite hooks: record timings to BENCH_search.json / BENCH_assoc.json.
 
 Runs after any ``pytest benchmarks`` session.  Recording is best-effort:
 a missing pytest-benchmark session (e.g. ``--benchmark-disable``) or an
-unwritable path must never fail the suite.
+unwritable path must never fail the suite.  Rows are routed by benchmark
+group: the ``assoc`` group (k-way simulator throughput) lands in
+``BENCH_assoc.json``, everything else in ``BENCH_search.json``.
 """
 
 from __future__ import annotations
@@ -16,8 +18,7 @@ def pytest_sessionfinish(session, exitstatus):
         if bsession is None:
             return
         rows = recorder.summarize(bsession.benchmarks)
-        path = recorder.append_session(rows)
-        if path is not None:
-            print(f"\n[bench] wrote {len(rows)} timing(s) to {path}")
+        for path in recorder.append_routed(rows):
+            print(f"\n[bench] wrote timings to {path}")
     except Exception as exc:  # pragma: no cover - diagnostics only
         print(f"\n[bench] recording skipped: {exc}")

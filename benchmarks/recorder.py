@@ -7,6 +7,12 @@ summary of its timings to ``BENCH_search.json`` (override the path with
 trajectory of the simulator and the search subsystem can be tracked
 across commits by diffing one small JSON file.
 
+Benchmarks in the ``assoc`` group (the k-way simulator throughput suite,
+``test_bench_assoc.py``) are routed to a separate ``BENCH_assoc.json``
+(``$REPRO_BENCH_ASSOC_JSON``), so simulator-throughput history and
+search-subsystem history stay independently diffable; both files are
+uploaded as CI artifacts per run.
+
 The file holds a list of session records, newest last::
 
     [
@@ -31,7 +37,13 @@ import pathlib
 from typing import Any
 
 ENV_BENCH_JSON = "REPRO_BENCH_JSON"
-DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
+ENV_BENCH_ASSOC_JSON = "REPRO_BENCH_ASSOC_JSON"
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_PATH = _ROOT / "BENCH_search.json"
+DEFAULT_ASSOC_PATH = _ROOT / "BENCH_assoc.json"
+
+#: Benchmark groups routed to ``BENCH_assoc.json`` instead of the default.
+ASSOC_GROUPS = {"assoc"}
 
 #: Values of $REPRO_BENCH_JSON that turn recording off entirely.
 _DISABLED = {"0", "off", "none", ""}
@@ -47,6 +59,22 @@ def output_path() -> pathlib.Path | None:
     return pathlib.Path(env)
 
 
+def assoc_output_path() -> pathlib.Path | None:
+    """Where ``assoc``-group rows go, or ``None`` when disabled.
+
+    ``$REPRO_BENCH_ASSOC_JSON`` overrides the path on its own;
+    ``$REPRO_BENCH_JSON=off`` is the master switch for both files.
+    """
+    env = os.environ.get(ENV_BENCH_ASSOC_JSON)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return pathlib.Path(env)
+    if output_path() is None:
+        return None
+    return DEFAULT_ASSOC_PATH
+
+
 def summarize(benchmarks) -> list[dict[str, Any]]:
     """Per-benchmark timing summaries from pytest-benchmark's records."""
     rows = []
@@ -56,16 +84,19 @@ def summarize(benchmarks) -> list[dict[str, Any]]:
         stats = getattr(stats, "stats", stats)
         if stats is None:
             continue
-        rows.append(
-            {
-                "name": bench.name,
-                "group": getattr(bench, "group", None),
-                "mean_s": round(stats.mean, 6),
-                "min_s": round(stats.min, 6),
-                "max_s": round(stats.max, 6),
-                "rounds": stats.rounds,
-            }
-        )
+        row = {
+            "name": bench.name,
+            "group": getattr(bench, "group", None),
+            "mean_s": round(stats.mean, 6),
+            "min_s": round(stats.min, 6),
+            "max_s": round(stats.max, 6),
+            "rounds": stats.rounds,
+        }
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            # Benchmarks attach derived metrics (refs/sec, speedups) here.
+            row["extra"] = dict(extra)
+        rows.append(row)
     return rows
 
 
@@ -100,3 +131,21 @@ def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return path
+
+
+def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
+    """Split ``rows`` by group and append each bucket to its artifact.
+
+    Rows whose ``group`` is in :data:`ASSOC_GROUPS` go to
+    :func:`assoc_output_path`, the rest to :func:`output_path`.  Returns
+    the paths actually written.
+    """
+    assoc = [r for r in rows if r.get("group") in ASSOC_GROUPS]
+    rest = [r for r in rows if r.get("group") not in ASSOC_GROUPS]
+    written = []
+    for bucket, path in ((rest, output_path()), (assoc, assoc_output_path())):
+        if bucket and path is not None:
+            out = append_session(bucket, path)
+            if out is not None:
+                written.append(out)
+    return written

@@ -77,6 +77,7 @@ from repro.search import (
     RandomSearch,
     SearchReport,
     SearchSpace,
+    assoc_pad_space,
     fusion_space,
     pad_space,
     tile_space,
@@ -131,6 +132,7 @@ __all__ = [
     # empirical autotuning
     "SearchSpace",
     "pad_space",
+    "assoc_pad_space",
     "tile_space",
     "fusion_space",
     "ExhaustiveSearch",

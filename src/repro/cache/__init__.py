@@ -7,11 +7,14 @@ sees every reference, and each lower level sees only the miss stream of the
 level above it.  Miss rates are reported relative to the *total* number of
 references, matching the paper's normalization.
 
-The direct-mapped simulator is fully vectorized with NumPy (sort-based
-previous-occurrence comparison) so full-program traces of tens of millions
-of references simulate in seconds; the set-associative LRU simulator is a
-straightforward sequential reference model used for smaller traces and as
-ground truth in tests.
+Both production simulators are fully vectorized with NumPy: the
+direct-mapped model uses a sort-based previous-occurrence comparison and
+the k-way LRU model (:mod:`repro.cache.assoc_vec`) a set-grouped
+stack-distance classification, so full-program traces of tens of millions
+of references simulate in seconds either way.  A sequential
+one-access-at-a-time LRU model (:mod:`repro.cache.assoc`) is kept as the
+ground-truth oracle the vectorized paths are property-tested against.
+See ``docs/simulators.md`` for the three families and when each is used.
 """
 
 from repro.cache.config import (
@@ -22,6 +25,7 @@ from repro.cache.config import (
 )
 from repro.cache.direct import simulate_direct
 from repro.cache.assoc import simulate_assoc
+from repro.cache.assoc_vec import AssocLRUState, miss_mask_assoc_vec, simulate_assoc_vec
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.stats import LevelStats, SimulationResult
 from repro.cache.stackdist import (
@@ -40,6 +44,9 @@ __all__ = [
     "SimulationResult",
     "simulate_direct",
     "simulate_assoc",
+    "simulate_assoc_vec",
+    "miss_mask_assoc_vec",
+    "AssocLRUState",
     "ultrasparc_i",
     "alpha_21164",
     "MissTaxonomy",

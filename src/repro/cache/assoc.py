@@ -1,16 +1,20 @@
-"""Sequential set-associative LRU cache simulation (reference model).
+"""Sequential set-associative LRU cache simulation (ground-truth oracle).
 
 The paper treats all caches as direct-mapped and notes that "simply
 treating k-way associative caches as direct-mapped for locality
 optimizations achieves nearly all the benefits."  We nevertheless provide a
 k-way LRU simulator: it serves as the ground-truth model the vectorized
-direct-mapped simulator is validated against (associativity 1 must agree
-exactly), and it lets users measure how much associativity would have
+simulators are validated against (associativity 1 must agree exactly with
+:mod:`repro.cache.direct`, and :mod:`repro.cache.assoc_vec` must agree for
+every k), and it lets users measure how much associativity would have
 changed the paper's miss rates.
 
-This model replays the trace one access at a time and is intended for
-traces up to a few million references; use :mod:`repro.cache.direct` for
-the full-size experiments.
+This model replays the trace one access at a time in Python.  It is the
+*reference* implementation: deliberately simple, obviously correct, and
+slow.  Production paths — full-size experiments and the ``ext_assoc``
+sweeps — use :mod:`repro.cache.direct` for direct-mapped levels and
+:mod:`repro.cache.assoc_vec` for k-way levels; both are property-tested
+against this module.
 """
 
 from __future__ import annotations
@@ -19,7 +23,39 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["simulate_assoc", "miss_mask_assoc"]
+__all__ = ["simulate_assoc", "miss_mask_assoc", "replay_lru"]
+
+
+def replay_lru(
+    lines,
+    num_sets: int,
+    associativity: int,
+    sets: list[list[int]],
+    miss: np.ndarray,
+) -> np.ndarray:
+    """Sequential LRU replay of ``lines``; the single reference implementation.
+
+    ``sets`` holds one list of tags per cache set, ordered most-recently-used
+    first; it is mutated in place so callers can carry state across chunks
+    (:class:`repro.cache.streaming.SequentialAssocCache` does exactly that).
+    ``miss`` is a preallocated boolean array the same length as ``lines``;
+    positions that miss are set ``True``.  Returns ``miss``.
+    """
+    for i, line in enumerate(lines):
+        s = line % num_sets
+        tag = line // num_sets
+        ways = sets[s]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            miss[i] = True
+            ways.insert(0, tag)
+            if len(ways) > associativity:
+                ways.pop()
+        else:
+            if pos:
+                ways.insert(0, ways.pop(pos))
+    return miss
 
 
 def miss_mask_assoc(
@@ -54,24 +90,8 @@ def miss_mask_assoc(
 
     num_sets = size // (line_size * associativity)
     lines = (addresses.astype(np.int64) // line_size).tolist()
-
-    # Each set is a list of tags ordered most-recently-used first.
     sets: list[list[int]] = [[] for _ in range(num_sets)]
-    for i, line in enumerate(lines):
-        s = line % num_sets
-        tag = line // num_sets
-        ways = sets[s]
-        try:
-            pos = ways.index(tag)
-        except ValueError:
-            miss[i] = True
-            ways.insert(0, tag)
-            if len(ways) > associativity:
-                ways.pop()
-        else:
-            if pos:
-                ways.insert(0, ways.pop(pos))
-    return miss
+    return replay_lru(lines, num_sets, associativity, sets, miss)
 
 
 def simulate_assoc(

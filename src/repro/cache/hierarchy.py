@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.assoc import miss_mask_assoc
+from repro.cache.assoc_vec import miss_mask_assoc_vec
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.direct import miss_mask_direct
 from repro.cache.stats import LevelStats, SimulationResult
@@ -22,7 +22,8 @@ __all__ = ["CacheHierarchy"]
 def _level_miss_mask(addresses: np.ndarray, cfg: CacheConfig) -> np.ndarray:
     if cfg.is_direct_mapped:
         return miss_mask_direct(addresses, cfg.size, cfg.line_size)
-    return miss_mask_assoc(addresses, cfg.size, cfg.line_size, cfg.associativity)
+    # Vectorized k-way path; exact w.r.t. repro.cache.assoc (the oracle).
+    return miss_mask_assoc_vec(addresses, cfg.size, cfg.line_size, cfg.associativity)
 
 
 class CacheHierarchy:

@@ -8,17 +8,31 @@ concatenated trace, with bounded memory.
 For a direct-mapped level the carried state is one tag per set.  Inside a
 chunk the sort-based classification of :mod:`repro.cache.direct` applies;
 only each set's *first* access in the chunk needs the carried tag.
+
+For a k-way level the carried state is a ``(num_sets, k)`` LRU tag matrix
+(:class:`repro.cache.assoc_vec.AssocLRUState`): chunk classification is
+fully vectorized, and the carried stacks are replayed as virtual leading
+accesses so chunked simulation stays byte-identical to one-shot replay.
+:class:`SequentialAssocCache` keeps the one-access-at-a-time reference
+model around as the oracle the vectorized path is property-tested against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.assoc import replay_lru
+from repro.cache.assoc_vec import AssocLRUState
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.stats import LevelStats, SimulationResult
 from repro.errors import SimulationError
 
-__all__ = ["StreamingDirectCache", "StreamingAssocCache", "StreamingHierarchy"]
+__all__ = [
+    "StreamingDirectCache",
+    "StreamingAssocCache",
+    "SequentialAssocCache",
+    "StreamingHierarchy",
+]
 
 
 class StreamingDirectCache:
@@ -78,7 +92,36 @@ class StreamingDirectCache:
 
 
 class StreamingAssocCache:
-    """k-way LRU cache with persistent state (sequential replay)."""
+    """k-way LRU cache with persistent state (vectorized classification).
+
+    Thin counting wrapper around :class:`repro.cache.assoc_vec.AssocLRUState`;
+    byte-identical to :class:`SequentialAssocCache` on every chunking.
+    """
+
+    def __init__(self, size: int, line_size: int, associativity: int):
+        self._state = AssocLRUState(size, line_size, associativity)
+        self.size = size
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = self._state.num_sets
+        self.accesses = 0
+        self.misses = 0
+
+    def feed(self, addresses: np.ndarray) -> np.ndarray:
+        """Classify one chunk; returns its miss mask and updates LRU state."""
+        miss = self._state.feed(addresses)
+        self.accesses += int(miss.size)
+        self.misses += int(miss.sum())
+        return miss
+
+
+class SequentialAssocCache:
+    """k-way LRU cache with persistent state (sequential reference replay).
+
+    The streaming form of the :func:`repro.cache.assoc.replay_lru` oracle:
+    one access at a time, obviously correct, slow.  Kept as the ground
+    truth that :class:`StreamingAssocCache` is property-tested against.
+    """
 
     def __init__(self, size: int, line_size: int, associativity: int):
         if (
@@ -106,21 +149,7 @@ class StreamingAssocCache:
         if addresses.size and addresses.min() < 0:
             raise SimulationError("trace contains negative addresses")
         lines = (addresses // self.line_size).tolist()
-        k = self.associativity
-        for i, line in enumerate(lines):
-            s = line % self.num_sets
-            tag = line // self.num_sets
-            ways = self._sets[s]
-            try:
-                pos = ways.index(tag)
-            except ValueError:
-                miss[i] = True
-                ways.insert(0, tag)
-                if len(ways) > k:
-                    ways.pop()
-            else:
-                if pos:
-                    ways.insert(0, ways.pop(pos))
+        replay_lru(lines, self.num_sets, self.associativity, self._sets, miss)
         self.accesses += int(addresses.size)
         self.misses += int(miss.sum())
         return miss

@@ -177,6 +177,7 @@ def optimize_searched(
     seed: int = 0,
     search_strategy: str = "coordinate",
     max_lines: int = 8,
+    assoc_aware: bool = False,
     workers: int | None = None,
     store=None,
     executor=None,
@@ -189,16 +190,24 @@ def optimize_searched(
     is never worse (under the miss-cost objective) than what the paper's
     recipe produced, and the report records how much the search moved.
 
+    With ``assoc_aware=True`` the search runs in
+    :func:`~repro.search.space.assoc_pad_space`, whose coarse stride is
+    the L1's k-way set-mapping period instead of the full cache size --
+    use it when ``hierarchy`` has a set-associative L1 and you want the
+    search to explore placements the direct-mapped model cannot
+    distinguish (the ``ext_assoc`` experiment does this systematically).
+
     Returns ``(program, layout, report, search_report)``.
     """
-    from repro.search import Autotuner, pad_space
+    from repro.search import Autotuner, assoc_pad_space, pad_space
 
     program, layout, report = optimize(program, hierarchy, strategy=strategy)
     searched_arrays = layout.order[1:]
     heuristic_config = tuple(
         layout.pads[layout.index_of(a)] for a in searched_arrays
     )
-    space = pad_space(
+    make_space = assoc_pad_space if assoc_aware else pad_space
+    space = make_space(
         program, layout, hierarchy,
         max_lines=max_lines,
         include=dict(zip(searched_arrays, heuristic_config)),

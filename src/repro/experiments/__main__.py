@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig9 [--quick]
     python -m repro.experiments fig11 --workers 4          # parallel sweep
     python -m repro.experiments ext_search --workers 4 --budget 64
+    python -m repro.experiments ext_assoc --quick --budget 16    # k-way search
     python -m repro.experiments all --quick --out results/
 
 Simulations fan out across ``--workers`` processes and are memoized in an
@@ -27,6 +28,7 @@ import time
 from repro.exec.executor import SweepExecutor
 from repro.exec.store import ENV_CACHE_DIR, ResultStore
 from repro.experiments import (
+    ext_assoc,
     ext_associativity,
     ext_search,
     ext_three_level,
@@ -55,6 +57,7 @@ EXPERIMENTS = {
     "tlb": ext_tlb,
     "timetile": ext_timetile,
     "ext_search": ext_search,
+    "ext_assoc": ext_assoc,
 }
 
 

@@ -46,6 +46,7 @@ from repro.search.report import SearchReport
 from repro.search.space import (
     Dimension,
     SearchSpace,
+    assoc_pad_space,
     fusion_space,
     pad_space,
     tile_space,
@@ -64,6 +65,7 @@ __all__ = [
     "Dimension",
     "SearchSpace",
     "pad_space",
+    "assoc_pad_space",
     "tile_space",
     "fusion_space",
     "Objective",

@@ -81,6 +81,7 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "timing",
             "associativity", "threelevel", "tlb", "timetile", "ext_search",
+            "ext_assoc",
         }
 
     def test_main_table1(self, capsys, tmp_path):

@@ -8,6 +8,7 @@ from repro.exec.jobs import SimJob
 from repro.search.space import (
     Dimension,
     SearchSpace,
+    assoc_pad_space,
     fusion_space,
     pad_space,
     tile_space,
@@ -139,6 +140,74 @@ class TestPadSpace:
         r1 = SimJob(program=prog, layout=lay, hierarchy=hier).run()
         r2 = SimJob(program=prog, layout=shifted, hierarchy=hier).run()
         assert r1 == r2
+
+
+class TestAssocPadSpace:
+    def _kway(self, hier, k):
+        from repro.cache.config import CacheConfig, HierarchyConfig
+
+        return HierarchyConfig(
+            levels=tuple(
+                CacheConfig(
+                    size=c.size, line_size=c.line_size, associativity=k,
+                    name=c.name, hit_cycles=c.hit_cycles,
+                )
+                for c in hier
+            ),
+            memory_cycles=hier.memory_cycles,
+        )
+
+    def test_coarse_stride_is_set_mapping_period(self, hier):
+        """Under a 2-way L1 the second-level stride is S1/2, not S1."""
+        kway = self._kway(hier, 2)
+        prog = build_fig2(64)
+        space = assoc_pad_space(
+            prog, DataLayout.sequential(prog), kway,
+            max_lines=2, span_multiples=2,
+        )
+        span, lmax = kway.l1.size // 2, kway.max_line_size
+        assert space.dimensions[0].choices == (0, lmax, span, span + lmax)
+
+    def test_degenerates_to_pad_space_grid_when_direct_mapped(self, hier):
+        """k=1: the span equals S1, so the grid matches pad_space with
+        l2_multiples -- associativity-aware search strictly generalizes."""
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        a = assoc_pad_space(prog, lay, hier, max_lines=3, span_multiples=2)
+        p = pad_space(prog, lay, hier, max_lines=3, l2_multiples=2)
+        assert [d.choices for d in a.dimensions] == [
+            d.choices for d in p.dimensions
+        ]
+
+    def test_include_merges_heuristic_pads(self, hier):
+        kway = self._kway(hier, 4)
+        prog = build_fig2(64)
+        space = assoc_pad_space(
+            prog, DataLayout.sequential(prog), kway, max_lines=2,
+            include={"C": 54321},
+        )
+        assert 54321 in space.dimensions[1].choices
+
+    def test_job_applies_config_pads(self, hier):
+        kway = self._kway(hier, 2)
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        space = assoc_pad_space(prog, lay, kway, max_lines=2)
+        span = kway.l1.size // 2
+        job = space.job((span, 0))
+        assert isinstance(job, SimJob)
+        assert job.layout.pads[job.layout.index_of("B")] == span
+        assert job.hierarchy == kway
+
+    def test_invalid_parameters_rejected(self, hier):
+        prog = build_fig2(64)
+        lay = DataLayout.sequential(prog)
+        with pytest.raises(ReproError):
+            assoc_pad_space(prog, lay, hier, max_lines=0)
+        with pytest.raises(ReproError):
+            assoc_pad_space(prog, lay, hier, span_multiples=0)
+        with pytest.raises(ReproError):
+            assoc_pad_space(prog, lay, hier, include={"nope": 0})
 
 
 class TestTileSpace:

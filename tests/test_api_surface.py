@@ -74,6 +74,7 @@ class TestSearchExports:
     SEARCH_NAMES = [
         "SearchSpace",
         "pad_space",
+        "assoc_pad_space",
         "tile_space",
         "fusion_space",
         "ExhaustiveSearch",
@@ -106,6 +107,28 @@ class TestSearchExports:
         assert set(STRATEGIES) == {"exhaustive", "random", "coordinate"}
         for name in STRATEGIES:
             assert get_strategy(name).name == name
+
+
+class TestCacheSimulatorExports:
+    """Both k-way simulators (oracle and vectorized) are package API."""
+
+    def test_vectorized_assoc_names(self):
+        import repro.cache
+
+        for name in (
+            "simulate_assoc",
+            "simulate_assoc_vec",
+            "miss_mask_assoc_vec",
+            "AssocLRUState",
+        ):
+            assert name in repro.cache.__all__
+            assert getattr(repro.cache, name) is not None
+
+    def test_streaming_exports_both_assoc_caches(self):
+        from repro.cache.streaming import __all__ as names
+
+        assert "StreamingAssocCache" in names
+        assert "SequentialAssocCache" in names
 
 
 class TestKernelTraceDefaultPath:
