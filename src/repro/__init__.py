@@ -17,6 +17,9 @@ The package implements, from scratch, every system the paper relies on:
 * :mod:`repro.kernels` -- the Table 1 programs as IR + runnable NumPy code;
 * :mod:`repro.search` -- empirical autotuning over pad/tile/fusion spaces,
   stress-testing the heuristics against searched-optimal configurations;
+* :mod:`repro.model` -- a static, closed-form multi-level miss predictor
+  (no trace, no simulation) powering the two-tier predict-then-verify
+  search strategy;
 * :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -70,16 +73,25 @@ from repro.driver import (
     optimize_searched,
 )
 from repro.exec import ResultStore, SimJob, SweepExecutor
+from repro.model import (
+    PredictedStats,
+    predict_job,
+    predict_program,
+    spearman,
+)
 from repro.search import (
     Autotuner,
     CoordinateDescent,
     ExhaustiveSearch,
+    PredictThenVerifyStrategy,
     RandomSearch,
     SearchReport,
     SearchSpace,
     assoc_pad_space,
     fusion_space,
+    model_objective,
     pad_space,
+    pad_tile_space,
     tile_space,
 )
 from repro.errors import (
@@ -134,12 +146,20 @@ __all__ = [
     "pad_space",
     "assoc_pad_space",
     "tile_space",
+    "pad_tile_space",
     "fusion_space",
     "ExhaustiveSearch",
     "RandomSearch",
     "CoordinateDescent",
+    "PredictThenVerifyStrategy",
     "Autotuner",
     "SearchReport",
+    # analytic miss prediction
+    "PredictedStats",
+    "predict_program",
+    "predict_job",
+    "model_objective",
+    "spearman",
     # errors
     "ReproError",
     "ConfigError",

@@ -197,6 +197,12 @@ def optimize_searched(
     search to explore placements the direct-mapped model cannot
     distinguish (the ``ext_assoc`` experiment does this systematically).
 
+    ``search_strategy`` accepts any :data:`~repro.search.STRATEGIES`
+    name; ``"predict"`` selects the two-tier
+    :class:`~repro.search.PredictThenVerifyStrategy`, which ranks the
+    whole space with the closed-form predictor (:mod:`repro.model`) and
+    spends the simulation budget only on the top-ranked candidates.
+
     Returns ``(program, layout, report, search_report)``.
     """
     from repro.search import Autotuner, assoc_pad_space, pad_space

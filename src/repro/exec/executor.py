@@ -141,6 +141,8 @@ class SweepExecutor:
         self.store = store
         self.stats = ExecStats(workers=self.workers)
         self.history: list[ExecStats] = []
+        self.predictions = 0
+        self.predict_seconds = 0.0
 
     # -- internals ---------------------------------------------------------
     def _run_pool(self, jobs: list[SimJob], nworkers: int) -> list | None:
@@ -215,6 +217,33 @@ class SweepExecutor:
         self.stats = stats
         self.history.append(stats)
         return results  # type: ignore[return-value]
+
+    def predict(self, jobs) -> list[SimulationResult]:
+        """Analytically score jobs without simulating (or caching) them.
+
+        The batch-scoring counterpart of :meth:`run` for the closed-form
+        predictor (:mod:`repro.model`): same job-list-in, result-list-out
+        shape, but each entry is a :class:`~repro.cache.stats.SimulationResult`
+        *mirror* derived from :func:`~repro.model.predict_job` -- an
+        estimate for ranking, never a measurement.  Predictions are not
+        written to the result store (they must never shadow real
+        simulations under the same content key); :attr:`predictions` and
+        :attr:`predict_seconds` accumulate across calls for reporting.
+        """
+        from repro.model import predict_job  # lazy: model imports analysis/layout
+
+        jobs = list(jobs)
+        t0 = time.perf_counter()
+        out = []
+        for job in jobs:
+            if not isinstance(job, SimJob):
+                raise ReproError(
+                    f"SweepExecutor.predict expects SimJobs, got {type(job)!r}"
+                )
+            out.append(predict_job(job).result)
+        self.predictions += len(jobs)
+        self.predict_seconds += time.perf_counter() - t0
+        return out
 
     def mark(self) -> int:
         """Checkpoint for :meth:`cumulative_stats` (current history length)."""

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments fig11 --workers 4          # parallel sweep
     python -m repro.experiments ext_search --workers 4 --budget 64
     python -m repro.experiments ext_assoc --quick --budget 16    # k-way search
+    python -m repro.experiments ext_model --quick          # predictor vs simulator
+    python -m repro.experiments assoc_claim --quick        # Section 1 claim check
     python -m repro.experiments all --quick --out results/
 
 Simulations fan out across ``--workers`` processes and are memoized in an
@@ -30,6 +32,7 @@ from repro.exec.store import ENV_CACHE_DIR, ResultStore
 from repro.experiments import (
     ext_assoc,
     ext_associativity,
+    ext_model,
     ext_search,
     ext_three_level,
     ext_timetile,
@@ -52,13 +55,19 @@ EXPERIMENTS = {
     "fig13": fig13_tiling,
     "timing": timing,
     # Extensions beyond the paper's figures (claims made in its prose).
-    "associativity": ext_associativity,
+    "assoc_claim": ext_associativity,
+    "associativity": ext_associativity,  # deprecated alias of assoc_claim
     "threelevel": ext_three_level,
     "tlb": ext_tlb,
     "timetile": ext_timetile,
     "ext_search": ext_search,
     "ext_assoc": ext_assoc,
+    "ext_model": ext_model,
 }
+
+# Old verb -> replacement.  Aliases still run (scripts keep working) but
+# warn, and "all" skips them so each experiment executes once.
+DEPRECATED_ALIASES = {"associativity": "assoc_claim"}
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -116,8 +125,17 @@ def main(argv: list[str] | None = None) -> int:
         store = ResultStore(args.cache_dir or default_cache_dir())
     executor = SweepExecutor(workers=args.workers, store=store)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names = sorted(k for k in EXPERIMENTS if k not in DEPRECATED_ALIASES)
+    else:
+        names = [args.experiment]
     for name in names:
+        if name in DEPRECATED_ALIASES:
+            print(
+                f"warning: {name!r} is deprecated; "
+                f"use {DEPRECATED_ALIASES[name]!r}",
+                file=sys.stderr,
+            )
         module = EXPERIMENTS[name]
         # Experiments that simulate accept the executor; table1/timing
         # (inventory and wall-clock measurement) run as before.

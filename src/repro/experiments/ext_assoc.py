@@ -3,10 +3,12 @@
 Section 1 claims that "simply treating k-way associative caches as
 direct-mapped for locality optimizations achieves nearly all the
 benefits of explicitly considering higher associativity."  The
-``associativity`` extension already checks the claim's *mechanism*
-(direct-mapped-targeted PAD still works on k-way caches); this
-experiment attacks it from the other side and measures the *headroom*:
-for each Table 1 kernel under 2-way and 4-way LRU hierarchies,
+:mod:`~repro.experiments.ext_associativity` extension (CLI verb
+``assoc_claim``; ``associativity`` is its deprecated alias) already
+checks the claim's *mechanism* (direct-mapped-targeted PAD still works
+on k-way caches); this experiment attacks it from the other side and
+measures the *headroom*: for each Table 1 kernel under 2-way and 4-way
+LRU hierarchies,
 
 * the **heuristic** point is MULTILVLPAD computed against the paper's
   direct-mapped model (exactly what a compiler following the paper

@@ -13,6 +13,13 @@ capacity.  Two observations support the claim when reproduced:
 2. the residual miss rate after direct-mapped-targeted padding is already
    close to the associative caches' floor, leaving little for an
    associativity-aware algorithm to gain.
+
+CLI verb: ``assoc_claim`` (the old ``associativity`` verb remains as a
+deprecated alias).  Companion experiment: :mod:`~repro.experiments.ext_assoc`
+(CLI verb ``ext_assoc``) measures the same claim from the other side --
+instead of checking that direct-mapped-targeted padding still *works* on
+k-way caches, it searches the k-way-aware pad space empirically and
+reports how much headroom the direct-mapped simplification leaves.
 """
 
 from __future__ import annotations

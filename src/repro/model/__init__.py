@@ -1,0 +1,49 @@
+"""repro.model -- the static, closed-form multi-level miss predictor.
+
+Everything the simulator measures by replaying a trace, this subsystem
+estimates in closed form from the program IR, the data layout, and the
+hierarchy: spatial misses from strides, conflict misses from k-way
+set-mapping overlap, capacity and cross-nest temporal reuse from
+footprints.  A prediction costs microseconds where a simulation costs
+seconds, which is what powers the two-tier predict-then-verify search
+(:class:`repro.search.strategies.PredictThenVerifyStrategy`).
+
+Entry points:
+
+* :func:`predict_program` / :func:`predict_nest` -- analytic counterparts
+  of ``simulate_program`` / ``simulate_nest``;
+* :func:`predict_job` -- score a :class:`~repro.exec.jobs.SimJob` without
+  running it (the executor's :meth:`~repro.exec.executor.SweepExecutor.predict`
+  batch hook maps this over job lists);
+* :class:`PredictedStats` -- the result type, mirroring
+  :class:`~repro.cache.stats.SimulationResult` so predictions drop into
+  existing reports, objectives, and cycle models;
+* :func:`spearman` -- the rank-agreement metric ``ext_model`` and the
+  property suite validate the predictor with.
+"""
+
+from repro.model.conflicts import ThrashCluster, thrash_clusters, thrashing_refs
+from repro.model.predictor import (
+    LevelPrediction,
+    NestPrediction,
+    PredictedStats,
+    predict_job,
+    predict_nest,
+    predict_program,
+)
+from repro.model.validate import mean_abs_rel_error, rankdata, spearman
+
+__all__ = [
+    "LevelPrediction",
+    "NestPrediction",
+    "PredictedStats",
+    "predict_nest",
+    "predict_program",
+    "predict_job",
+    "ThrashCluster",
+    "thrash_clusters",
+    "thrashing_refs",
+    "rankdata",
+    "spearman",
+    "mean_abs_rel_error",
+]

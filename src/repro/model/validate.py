@@ -1,0 +1,72 @@
+"""Predictor-vs-simulator agreement metrics.
+
+The predictor's job is *ranking* candidate layouts, so the headline
+metric is Spearman rank correlation between predicted and simulated
+objective values over a configuration space (implemented here directly
+-- average ranks for ties, Pearson on the ranks -- since SciPy is not a
+dependency).  Absolute accuracy is reported as mean relative error of
+the miss counts; ``ext_model`` prints both per kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["rankdata", "spearman", "mean_abs_rel_error"]
+
+
+def rankdata(values: Sequence[float]) -> list[float]:
+    """1-based ranks with ties sharing their average rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation of two equal-length samples.
+
+    Degenerate samples: two constant sides correlate perfectly (1.0);
+    one constant side carries no ranking information (0.0).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        return 1.0
+    rx, ry = rankdata(xs), rankdata(ys)
+    n = len(rx)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0.0 and vy == 0.0:
+        return 1.0
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+def mean_abs_rel_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean of ``|predicted - actual| / actual`` over entries with
+    ``actual != 0`` (entries where both sides are zero are exact and
+    skipped; a false positive against a zero actual counts as 100%)."""
+    if len(predicted) != len(actual):
+        raise ValueError(f"length mismatch: {len(predicted)} vs {len(actual)}")
+    errors = []
+    for p, a in zip(predicted, actual):
+        if a != 0:
+            errors.append(abs(p - a) / abs(a))
+        elif p != 0:
+            errors.append(1.0)
+    return sum(errors) / len(errors) if errors else 0.0

@@ -13,9 +13,12 @@ Pieces:
   concrete spaces (:func:`pad_space`, :func:`tile_space`,
   :func:`fusion_space`);
 * :mod:`repro.search.objective` -- minimized figures of merit over
-  simulated miss statistics;
+  simulated miss statistics, plus :func:`model_objective`, the analytic
+  (simulation-free) scorer backed by :mod:`repro.model`;
 * :mod:`repro.search.strategies` -- exhaustive grid, seeded random
-  sampling, coordinate descent;
+  sampling, coordinate descent, and the two-tier
+  :class:`PredictThenVerifyStrategy` (score the whole space with the
+  closed-form predictor, simulate only the top-K);
 * :mod:`repro.search.tuner` -- :class:`Autotuner`, the batching /
   memoizing / budgeting harness;
 * :mod:`repro.search.report` -- the structured :class:`SearchReport`.
@@ -37,10 +40,12 @@ Quickstart::
 """
 
 from repro.search.objective import (
+    ModelObjective,
     Objective,
     cycles_objective,
     miss_cost_objective,
     miss_rate_objective,
+    model_objective,
 )
 from repro.search.report import SearchReport
 from repro.search.space import (
@@ -49,12 +54,14 @@ from repro.search.space import (
     assoc_pad_space,
     fusion_space,
     pad_space,
+    pad_tile_space,
     tile_space,
 )
 from repro.search.strategies import (
     STRATEGIES,
     CoordinateDescent,
     ExhaustiveSearch,
+    PredictThenVerifyStrategy,
     RandomSearch,
     SearchStrategy,
     get_strategy,
@@ -67,15 +74,19 @@ __all__ = [
     "pad_space",
     "assoc_pad_space",
     "tile_space",
+    "pad_tile_space",
     "fusion_space",
     "Objective",
+    "ModelObjective",
     "miss_cost_objective",
     "miss_rate_objective",
     "cycles_objective",
+    "model_objective",
     "SearchStrategy",
     "ExhaustiveSearch",
     "RandomSearch",
     "CoordinateDescent",
+    "PredictThenVerifyStrategy",
     "STRATEGIES",
     "get_strategy",
     "Autotuner",

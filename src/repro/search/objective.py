@@ -16,6 +16,14 @@ Built-ins:
   normalization: misses over *total* references);
 * :func:`cycles_objective` -- the full cycle model including hit costs
   (what the figures' "execution time improvement" axes derive from).
+
+:func:`model_objective` is the *analytic* counterpart: it scores a
+:class:`~repro.exec.jobs.SimJob` directly -- no trace, no simulation --
+by running the closed-form predictor (:mod:`repro.model`) and applying a
+base objective to the :class:`~repro.model.PredictedStats` mirror result.
+It deliberately has a different call signature (job in, float out): a
+predicted score is a *ranking* device, never a measurement, and the type
+difference keeps the two from being mixed up in reports.
 """
 
 from __future__ import annotations
@@ -29,9 +37,11 @@ from repro.cache.stats import SimulationResult
 
 __all__ = [
     "Objective",
+    "ModelObjective",
     "miss_cost_objective",
     "miss_rate_objective",
     "cycles_objective",
+    "model_objective",
 ]
 
 
@@ -70,6 +80,35 @@ def miss_cost_objective() -> Objective:
         return model.weighted(l1_misses, to_memory) + extra
 
     return Objective(name="miss-cost", fn=fn)
+
+
+@dataclass(frozen=True)
+class ModelObjective:
+    """An analytic (simulation-free) score over :class:`SimJob`\\ s.
+
+    Wraps a base :class:`Objective` and feeds it the closed-form
+    predictor's :class:`~repro.model.PredictedStats` mirror result
+    instead of a simulation.  Used by
+    :class:`~repro.search.strategies.PredictThenVerifyStrategy` to rank
+    whole spaces and by :meth:`SweepExecutor.predict
+    <repro.exec.executor.SweepExecutor.predict>` batch scoring.
+    """
+
+    name: str
+    base: Objective
+
+    def __call__(self, job) -> float:
+        from repro.model import predict_job  # lazy: keeps import DAG acyclic
+
+        return self.base(predict_job(job).result, job.hierarchy)
+
+
+def model_objective(base: Objective | None = None) -> ModelObjective:
+    """The closed-form predictor scoring jobs under ``base`` (default:
+    the weighted miss cost, so predicted and simulated scores are in the
+    same units and directly comparable)."""
+    base = base if base is not None else miss_cost_objective()
+    return ModelObjective(name=f"model[{base.name}]", base=base)
 
 
 def miss_rate_objective(level: str = "L1") -> Objective:

@@ -24,6 +24,11 @@ Three concrete spaces cover the paper's tuning decisions:
   direct-mapped" claim (Section 1) leaves behind.
 * :func:`tile_space` -- W x H tile edges for the Figure 8 tiled matrix
   multiply, up to L2-sized edges (Section 5).
+* :func:`pad_tile_space` -- the joint product of tile edges *and*
+  inter-variable pads for the tiled multiply.  The paper tunes the two
+  independently (tile for capacity, then pad for conflicts); the joint
+  space is usually too large to simulate exhaustively, which is exactly
+  what the analytic predict-then-verify strategy is for.
 * :func:`fusion_space` -- binary fuse/no-fuse decisions for each
   adjacent compatible nest pair (Section 4).
 """
@@ -47,6 +52,7 @@ __all__ = [
     "pad_space",
     "assoc_pad_space",
     "tile_space",
+    "pad_tile_space",
     "fusion_space",
 ]
 
@@ -348,6 +354,81 @@ def tile_space(
 
     return SearchSpace(
         name=name or f"tile[matmul-{n}]", dimensions=dims, job_builder=build
+    )
+
+
+def pad_tile_space(
+    n: int,
+    hierarchy: HierarchyConfig,
+    element_size: int = 8,
+    max_lines: int = 4,
+    widths: Sequence[int] | None = None,
+    heights: Sequence[int] | None = None,
+    include_tile: Sequence[int] | None = None,
+    include_pads: Mapping[str, int] | None = None,
+    name: str | None = None,
+) -> SearchSpace:
+    """The joint tile x pad product for the tiled matrix multiply.
+
+    Four dimensions: ``tile:w`` and ``tile:h`` (same ladders as
+    :func:`tile_space`) crossed with one pad dimension per matmul array
+    after the first (the B and C operands), stepping by ``Lmax`` exactly
+    like :func:`pad_space`.  Tiling and padding interact -- a tile shape
+    fixes which sub-columns are live at once, and the pads decide whether
+    those sub-columns conflict -- so the joint optimum can beat the
+    tile-then-pad pipeline; this space makes that measurable.
+
+    The product is deliberately large (it is the stress case for
+    predict-then-verify search); ``include_tile`` / ``include_pads``
+    merge a heuristic baseline's exact tile edges and pad values into the
+    grid so it can seed the search.
+    """
+    from repro.kernels import matmul  # local: keeps module import light
+
+    if max_lines < 1:
+        raise ReproError(f"max_lines must be >= 1, got {max_lines}")
+    l2 = hierarchy.l2.size if len(hierarchy) > 1 else hierarchy.l1.size
+    max_edge = max(4, l2 // (element_size * 4))
+    w_choices = set(widths) if widths is not None else set(_edge_ladder(n, max_edge))
+    h_choices = set(heights) if heights is not None else set(_edge_ladder(n, max_edge))
+    if include_tile is not None:
+        w, h = include_tile
+        w_choices.add(int(w))
+        h_choices.add(int(h))
+    step = hierarchy.max_line_size
+    base = matmul.build(n)
+    padded_arrays = tuple(a.name for a in base.arrays[1:])
+    include_pads = dict(include_pads or {})
+    unknown = set(include_pads) - set(padded_arrays)
+    if unknown:
+        raise ReproError(f"include_pads names unknown arrays: {sorted(unknown)}")
+    dims = [
+        Dimension(name="tile:w", choices=tuple(sorted(w_choices))),
+        Dimension(name="tile:h", choices=tuple(sorted(h_choices))),
+    ]
+    for arr in padded_arrays:
+        choices = {k * step for k in range(max_lines)}
+        if arr in include_pads:
+            choices.add(int(include_pads[arr]))
+        dims.append(Dimension(name=f"pad:{arr}", choices=tuple(sorted(choices))))
+
+    def build(config: Config) -> SimJob:
+        w, h = config[0], config[1]
+        program = matmul.build_tiled(n, w, h)
+        layout = DataLayout.sequential(program).with_pads(
+            dict(zip(padded_arrays, config[2:]))
+        )
+        return SimJob(
+            program=program,
+            layout=layout,
+            hierarchy=hierarchy,
+            tag=("search", config),
+        )
+
+    return SearchSpace(
+        name=name or f"pad_tile[matmul-{n}]",
+        dimensions=tuple(dims),
+        job_builder=build,
     )
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "ExhaustiveSearch",
     "RandomSearch",
     "CoordinateDescent",
+    "PredictThenVerifyStrategy",
     "STRATEGIES",
     "get_strategy",
 ]
@@ -161,10 +162,79 @@ class CoordinateDescent:
                 return
 
 
+class PredictThenVerifyStrategy:
+    """Two-tier search: score analytically, simulate only the top-K.
+
+    Tier one runs the closed-form predictor (:mod:`repro.model`) over the
+    whole space -- or, above ``max_scored`` points, over a seeded random
+    sample plus the start point -- which costs microseconds per config
+    and **zero** simulation budget.  Tier two passes the ``top_k``
+    best-predicted configs to ``evaluate``, i.e. through the tuner's
+    exact :class:`~repro.exec.jobs.SimJob` path, so the verification
+    simulations batch in parallel and land in the executor's result
+    store like any other search's.
+
+    The simulated best can only be as good as what tier one surfaces:
+    the strategy is safe exactly when the predictor *ranks* well
+    (``ext_model`` measures Spearman agreement per space; see
+    ``docs/model.md`` for when that holds).  Seeding the tuner with a
+    heuristic baseline keeps the usual never-worse-than-baseline
+    guarantee regardless.
+
+    ``last_scored`` records how many configs tier one scored on the most
+    recent run -- the ``ext_model`` experiment reports it next to the
+    simulation count to show the 10-50x effective-budget expansion.
+    """
+
+    name = "predict"
+
+    def __init__(
+        self,
+        top_k: int = 8,
+        max_scored: int = 2048,
+        objective: "ModelObjective | None" = None,
+    ):
+        if top_k < 1:
+            raise ReproError(f"top_k must be >= 1, got {top_k}")
+        if max_scored < 1:
+            raise ReproError(f"max_scored must be >= 1, got {max_scored}")
+        self.top_k = top_k
+        self.max_scored = max_scored
+        self.objective = objective
+        self.last_scored = 0
+
+    def _candidates(self, space, rng, start) -> list[Config]:
+        if space.size <= self.max_scored:
+            return list(space.configs())
+        seen: set[Config] = set()
+        if start is not None:
+            seen.add(space.validate(start))
+        attempts, limit = 0, 50 * self.max_scored
+        while len(seen) < self.max_scored and attempts < limit:
+            seen.add(space.random_config(rng))
+            attempts += 1
+        return sorted(seen)
+
+    def run(self, space, evaluate, rng, start=None) -> None:
+        from repro.search.objective import model_objective
+
+        scorer = self.objective if self.objective is not None else model_objective()
+        candidates = self._candidates(space, rng, start)
+        self.last_scored = len(candidates)
+        # Ties break toward the lexicographically smallest config, so the
+        # verified set is a pure function of (space, seed).
+        scored = sorted((scorer(space.job(c)), c) for c in candidates)
+        top = [c for _, c in scored[: self.top_k]]
+        if start is not None and start not in top:
+            top.append(start)  # usually memoized already; never a new sim
+        evaluate(top)
+
+
 STRATEGIES: dict[str, Callable[[], SearchStrategy]] = {
     "exhaustive": ExhaustiveSearch,
     "random": RandomSearch,
     "coordinate": CoordinateDescent,
+    "predict": PredictThenVerifyStrategy,
 }
 
 

@@ -80,9 +80,15 @@ class TestCLI:
     def test_experiment_registry(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "timing",
-            "associativity", "threelevel", "tlb", "timetile", "ext_search",
-            "ext_assoc",
+            "assoc_claim", "associativity", "threelevel", "tlb", "timetile",
+            "ext_search", "ext_assoc", "ext_model",
         }
+
+    def test_assoc_claim_alias(self, capsys):
+        from repro.experiments.__main__ import DEPRECATED_ALIASES
+
+        assert DEPRECATED_ALIASES == {"associativity": "assoc_claim"}
+        assert EXPERIMENTS["associativity"] is EXPERIMENTS["assoc_claim"]
 
     def test_main_table1(self, capsys, tmp_path):
         rc = main(["table1", "--out", str(tmp_path)])

@@ -19,11 +19,15 @@ from repro.search.strategies import (
     STRATEGIES,
     CoordinateDescent,
     ExhaustiveSearch,
+    PredictThenVerifyStrategy,
     RandomSearch,
     get_strategy,
 )
 
-ALL_STRATEGIES = sorted(STRATEGIES)
+# "predict" scores configs through space.job() by design (its tier one
+# is an analytic objective over jobs), so it is exempt from the
+# no-materialization contract and tested separately below.
+ALL_STRATEGIES = sorted(set(STRATEGIES) - {"predict"})
 
 
 def _nojob(config):
@@ -147,6 +151,64 @@ class TestCoordinateDescent:
     def test_params_validated(self):
         with pytest.raises(ReproError):
             CoordinateDescent(max_passes=0)
+
+
+def _config_job_space(dims):
+    """A space whose ``job`` is the config itself, so a plain callable
+    can stand in for the analytic model objective."""
+    return SearchSpace(
+        name="synthetic",
+        dimensions=dims,
+        job_builder=lambda config: config,
+    )
+
+
+def drive_predict(space, seed=0, start=None, **kwargs):
+    kwargs.setdefault("objective", synth_objective)
+    strategy = PredictThenVerifyStrategy(**kwargs)
+    return strategy, drive(strategy, space, seed=seed, start=start)
+
+
+class TestPredictThenVerify:
+    def space(self, *choice_lists):
+        return _config_job_space(
+            tuple(
+                Dimension(name=f"d{i}", choices=cs)
+                for i, cs in enumerate(choice_lists)
+            )
+        )
+
+    def test_simulates_only_top_k(self):
+        space = self.space((0, 1, 2, 3), (0, 1, 2, 3))
+        strategy, proposed = drive_predict(space, top_k=3)
+        assert strategy.last_scored == space.size
+        assert len(proposed) == 3
+        # the verified set is exactly the analytically best-ranked configs
+        ranked = sorted(space.configs(), key=lambda c: (synth_objective(c), c))
+        assert proposed == ranked[:3]
+
+    def test_start_appended_when_not_in_top(self):
+        space = self.space((0, 1, 2, 3), (0, 1, 2, 3))
+        ranked = sorted(space.configs(), key=lambda c: (synth_objective(c), c))
+        start = ranked[-1]
+        _, proposed = drive_predict(space, top_k=2, start=start)
+        assert proposed[:2] == ranked[:2]
+        assert proposed[-1] == start and len(proposed) == 3
+
+    def test_sampling_above_max_scored_is_deterministic(self):
+        space = self.space(tuple(range(12)), tuple(range(12)), tuple(range(12)))
+        s1, first = drive_predict(space, seed=7, max_scored=100)
+        s2, second = drive_predict(space, seed=7, max_scored=100)
+        assert first == second
+        assert s1.last_scored == s2.last_scored == 100
+        assert all(space.contains(c) for c in first)
+
+    def test_registered_and_validated(self):
+        assert get_strategy("predict").name == "predict"
+        with pytest.raises(ReproError):
+            PredictThenVerifyStrategy(top_k=0)
+        with pytest.raises(ReproError):
+            PredictThenVerifyStrategy(max_scored=0)
 
 
 class TestGetStrategy:

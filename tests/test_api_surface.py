@@ -76,10 +76,13 @@ class TestSearchExports:
         "pad_space",
         "assoc_pad_space",
         "tile_space",
+        "pad_tile_space",
         "fusion_space",
         "ExhaustiveSearch",
         "RandomSearch",
         "CoordinateDescent",
+        "PredictThenVerifyStrategy",
+        "model_objective",
         "Autotuner",
         "SearchReport",
         "optimize_searched",
@@ -104,7 +107,7 @@ class TestSearchExports:
     def test_strategy_registry_names(self):
         from repro.search import STRATEGIES, get_strategy
 
-        assert set(STRATEGIES) == {"exhaustive", "random", "coordinate"}
+        assert set(STRATEGIES) == {"exhaustive", "random", "coordinate", "predict"}
         for name in STRATEGIES:
             assert get_strategy(name).name == name
 
