@@ -18,14 +18,22 @@ The file holds a list of session records, newest last::
     [
       {
         "timestamp": "2026-08-05T12:00:00+00:00",
+        "machine": "x86_64-4cpu",
         "benchmarks": [
           {"name": "test_bench_search", "mean_s": 0.41,
            "min_s": 0.40, "max_s": 0.42, "rounds": 2},
           ...
-        ]
+        ],
+        "metrics": {"counters": {"sim.refs": 12000000, ...}, ...}
       },
       ...
     ]
+
+``machine`` is the coarse host fingerprint (:func:`machine_family`)
+that ``benchmarks/trend.py`` uses to pick a per-machine baseline
+family; ``metrics`` is the :mod:`repro.obs` registry snapshot at
+session end, so every benchmark artifact carries the refs simulated,
+store hit counts, and per-level cache totals behind its timings.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import datetime
 import json
 import os
 import pathlib
+import platform
 from typing import Any
 
 ENV_BENCH_JSON = "REPRO_BENCH_JSON"
@@ -47,6 +56,32 @@ ASSOC_GROUPS = {"assoc"}
 
 #: Values of $REPRO_BENCH_JSON that turn recording off entirely.
 _DISABLED = {"0", "off", "none", ""}
+
+
+def machine_family() -> str:
+    """Coarse host fingerprint, e.g. ``x86_64-4cpu``.
+
+    Architecture plus CPU count is deliberately blunt: it separates the
+    machine classes whose throughput genuinely differs (a CI runner vs.
+    a laptop vs. an ARM box) without fragmenting baselines over OS
+    minor versions.  ``benchmarks/trend.py`` looks for a baseline
+    directory of this name before falling back to the flat files.
+    """
+    return f"{platform.machine() or 'unknown'}-{os.cpu_count() or 0}cpu"
+
+
+def _metrics_snapshot() -> dict[str, Any] | None:
+    """The repro.obs registry snapshot, or ``None`` when unavailable.
+
+    Guarded so the recorder still works when ``src`` is not on the path
+    (benchmarks invoked standalone) or before the obs layer existed.
+    """
+    try:
+        from repro.obs.metrics import get_metrics
+    except ImportError:
+        return None
+    snapshot = get_metrics().snapshot()
+    return snapshot or None
 
 
 def output_path() -> pathlib.Path | None:
@@ -120,14 +155,17 @@ def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None)
                 path.rename(path.with_suffix(".json.bak"))
         except (json.JSONDecodeError, OSError):
             path.rename(path.with_suffix(".json.bak"))
-    history.append(
-        {
-            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
-                timespec="seconds"
-            ),
-            "benchmarks": rows,
-        }
-    )
+    record: dict[str, Any] = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": machine_family(),
+        "benchmarks": rows,
+    }
+    metrics = _metrics_snapshot()
+    if metrics is not None:
+        record["metrics"] = metrics
+    history.append(record)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return path

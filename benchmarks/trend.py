@@ -14,11 +14,22 @@ that regressed by at least ``--warn-pct`` (default 10%) warns; at least
 Benchmarks present on only one side are reported but never fail -- new
 benchmarks must not need a same-commit baseline update to land.
 
-The wide warn/fail band is deliberate: baselines are recorded on one
-machine and checked on another, so the gate only catches *structural*
+Baselines are resolved per machine family: given a baseline path
+``benchmarks/baselines/BENCH_search.json`` and a host whose
+:func:`benchmarks.recorder.machine_family` is ``x86_64-4cpu``, the gate
+prefers ``benchmarks/baselines/x86_64-4cpu/BENCH_search.json`` and
+applies the full warn/fail thresholds to it -- numbers recorded on the
+same machine class are comparable.  When no family directory matches,
+the flat file is used **warn-only** (regressions print as ``warn`` and
+never fail the run), because cross-machine throughput deltas are noise,
+not signal.  ``--family`` overrides the detected family.
+
+The wide warn/fail band is still deliberate even within a family:
+runner generations differ, so the gate only catches *structural*
 regressions (an accidentally quadratic loop, a lost vectorization), not
 scheduler noise.  Refresh the baselines whenever a deliberate perf
-change moves the numbers::
+change moves the numbers (append the family directory to the paths to
+refresh a family's file)::
 
     PYTHONPATH=src REPRO_BENCH_JSON=benchmarks/baselines/BENCH_search.json \\
       REPRO_BENCH_ASSOC_JSON=benchmarks/baselines/BENCH_assoc.json \\
@@ -46,6 +57,7 @@ __all__ = [
     "latest_session",
     "throughput_metrics",
     "compare_sessions",
+    "resolve_baseline",
     "main",
     "WARN_PCT",
     "FAIL_PCT",
@@ -143,6 +155,32 @@ def compare_sessions(
     return findings
 
 
+def resolve_baseline(
+    base_path: pathlib.Path, family: str
+) -> tuple[pathlib.Path, bool]:
+    """(baseline path to use, whether the full gate applies).
+
+    Prefers ``<dir>/<family>/<name>`` over the flat ``<dir>/<name>``.
+    The flat fallback is warn-only (second element ``False``): numbers
+    recorded on an unknown machine class can flag a regression for a
+    human but should never fail someone else's CI run.
+    """
+    family_path = base_path.parent / family / base_path.name
+    if family_path.exists():
+        return family_path, True
+    return base_path, False
+
+
+def _machine_family() -> str:
+    # Works both as `python -m benchmarks.trend` (package import) and
+    # when invoked from inside the benchmarks directory.
+    try:
+        from benchmarks.recorder import machine_family
+    except ImportError:  # pragma: no cover - direct invocation
+        from recorder import machine_family
+    return machine_family()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.trend",
@@ -156,16 +194,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="warn at this %% throughput drop (default 10)")
     parser.add_argument("--fail-pct", type=float, default=FAIL_PCT,
                         help="fail at this %% throughput drop (default 30)")
+    parser.add_argument(
+        "--family", default=None, metavar="NAME",
+        help="baseline family directory to prefer (default: this "
+             "machine's fingerprint, e.g. x86_64-4cpu)",
+    )
     args = parser.parse_args(argv)
     if len(args.paths) % 2 != 0:
         parser.error("paths must come in FRESH BASELINE pairs")
     if args.fail_pct < args.warn_pct:
         parser.error("--fail-pct must be >= --warn-pct")
+    family = args.family if args.family is not None else _machine_family()
 
     failed = False
     for i in range(0, len(args.paths), 2):
         fresh_path = pathlib.Path(args.paths[i])
-        base_path = pathlib.Path(args.paths[i + 1])
+        base_path, gated = resolve_baseline(
+            pathlib.Path(args.paths[i + 1]), family
+        )
         if not base_path.exists():
             print(f"[trend] no baseline at {base_path}; skipping {fresh_path}")
             continue
@@ -182,7 +228,15 @@ def main(argv: list[str] | None = None) -> int:
             warn_pct=args.warn_pct,
             fail_pct=args.fail_pct,
         )
-        print(f"[trend] {fresh_path} vs {base_path}:")
+        if not gated:
+            # Cross-machine comparison: surface regressions, never fail.
+            findings = [
+                Finding(f.benchmark, f.metric, f.baseline, f.fresh, "warn")
+                if f.status == "fail" else f
+                for f in findings
+            ]
+        note = "" if gated else f" (no {family!r} family baseline; warn-only)"
+        print(f"[trend] {fresh_path} vs {base_path}{note}:")
         for f in findings:
             print(f"  {f.format()}")
         failed = failed or any(f.status == "fail" for f in findings)

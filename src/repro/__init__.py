@@ -20,6 +20,9 @@ The package implements, from scratch, every system the paper relies on:
 * :mod:`repro.model` -- a static, closed-form multi-level miss predictor
   (no trace, no simulation) powering the two-tier predict-then-verify
   search strategy;
+* :mod:`repro.obs` -- zero-dependency tracing (nested spans, Chrome
+  trace-event export) and a metrics registry, instrumented across the
+  executor, simulators, search, and model;
 * :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -78,6 +81,14 @@ from repro.model import (
     predict_job,
     predict_program,
     spearman,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    start_tracing,
+    stop_tracing,
 )
 from repro.search import (
     Autotuner,
@@ -160,6 +171,13 @@ __all__ = [
     "predict_job",
     "model_objective",
     "spearman",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "get_metrics",
+    "start_tracing",
+    "stop_tracing",
     # errors
     "ReproError",
     "ConfigError",

@@ -15,6 +15,8 @@ from repro.cache.assoc_vec import miss_mask_assoc_vec
 from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.cache.direct import miss_mask_direct
 from repro.cache.stats import LevelStats, SimulationResult
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = ["CacheHierarchy"]
 
@@ -43,17 +45,30 @@ class CacheHierarchy:
         self.config = config
 
     def simulate(self, addresses: np.ndarray) -> SimulationResult:
-        """Simulate the trace and return per-level statistics."""
+        """Simulate the trace and return per-level statistics.
+
+        One ``cache.simulate`` span per call while tracing; the trace's
+        reference count and each level's access/miss totals feed the
+        ``cache.*`` counters of the metrics registry either way.
+        """
         addresses = np.asarray(addresses, dtype=np.int64)
         total = int(addresses.size)
         levels: list[LevelStats] = []
-        stream = addresses
-        for cfg in self.config:
-            mask = _level_miss_mask(stream, cfg)
-            levels.append(
-                LevelStats(name=cfg.name, accesses=int(stream.size), misses=int(mask.sum()))
-            )
-            stream = stream[mask]
+        with get_tracer().span("cache.simulate", cat="cache", refs=total):
+            stream = addresses
+            for cfg in self.config:
+                mask = _level_miss_mask(stream, cfg)
+                levels.append(
+                    LevelStats(
+                        name=cfg.name, accesses=int(stream.size), misses=int(mask.sum())
+                    )
+                )
+                stream = stream[mask]
+        m = get_metrics()
+        m.counter("cache.refs").inc(total)
+        for lv in levels:
+            m.counter(f"cache.{lv.name}.accesses").inc(lv.accesses)
+            m.counter(f"cache.{lv.name}.misses").inc(lv.misses)
         return SimulationResult(total_refs=total, levels=tuple(levels))
 
     def miss_masks(self, addresses: np.ndarray) -> list[np.ndarray]:

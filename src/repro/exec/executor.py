@@ -14,7 +14,11 @@ a list with
   failure to stand a pool up (restricted environments, unpicklable
   platforms) falls back to in-process serial execution;
 * **observability** -- per-job timing and hit/miss provenance are kept in
-  :attr:`SweepExecutor.stats` and the cumulative :attr:`history`.
+  :attr:`SweepExecutor.stats` and the cumulative :attr:`history`, mirrored
+  into the :mod:`repro.obs` metrics registry, and (when a tracer is
+  active) emitted as one span per sweep plus one span per executed job --
+  pool jobs carry their worker's pid and queue-wait time, so a Chrome
+  trace shows per-worker lanes and scheduling gaps.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ from repro.cache.stats import SimulationResult
 from repro.errors import ReproError
 from repro.exec.jobs import SimJob
 from repro.exec.store import ResultStore, open_default_store
+from repro.obs.metrics import format_exec_line, get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "JobRecord",
@@ -99,27 +105,35 @@ class ExecStats:
         return out
 
     def format(self) -> str:
-        """One observability line for CLI output."""
+        """One observability line for CLI output.
+
+        Delegates to :func:`repro.obs.metrics.format_exec_line`, the same
+        renderer the CLI's metrics-driven line uses, so the two views
+        cannot drift.
+        """
         pooled = sum(1 for r in self.records if r.source == "pool")
-        parts = [
-            f"{self.jobs} jobs",
-            f"{self.cache_hits} cached ({100.0 * self.hit_rate:.0f}%)",
-            f"{self.cache_misses} simulated"
-            + (f" ({pooled} in pool, workers={self.workers})" if pooled else ""),
-            f"sim {self.sim_seconds:.2f}s",
-            f"wall {self.wall_seconds:.2f}s",
-        ]
-        return ", ".join(parts)
+        return format_exec_line(
+            jobs=self.jobs,
+            cache_hits=self.cache_hits,
+            pooled=pooled,
+            workers=self.workers,
+            sim_seconds=self.sim_seconds,
+            wall_seconds=self.wall_seconds,
+        )
 
 
-def _timed_run(job: SimJob) -> tuple[SimulationResult, float]:
+def _timed_run(job: SimJob) -> tuple[SimulationResult, float, int, int]:
     """Worker entry point: simulate one job, measuring its time.
 
-    Must stay a module-level function so it pickles to worker processes.
+    Returns ``(result, seconds, start_time_ns, pid)`` -- the wall-clock
+    start and worker pid let the parent synthesize a trace span for work
+    that ran in another process.  Must stay a module-level function so it
+    pickles to worker processes.
     """
+    start_ns = time.time_ns()
     t0 = time.perf_counter()
     result = job.run()
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0, start_ns, os.getpid()
 
 
 class SweepExecutor:
@@ -167,56 +181,137 @@ class SweepExecutor:
 
         Parallel and serial paths produce bit-identical results: the
         simulation is deterministic and ``pool.map`` preserves ordering.
+
+        When a tracer is active the whole call is one ``exec.sweep`` span
+        with an ``exec.job`` child per executed job (worker pid + queue
+        wait attached) and a store hit/miss event per memoized lookup;
+        either way the run's totals land in the metrics registry.
         """
         jobs = list(jobs)
+        tracer = get_tracer()
         t0 = time.perf_counter()
         stats = ExecStats(workers=self.workers)
         results: list[SimulationResult | None] = [None] * len(jobs)
         pending: list[tuple[int, str, SimJob]] = []
+        fresh_results: list[SimulationResult] = []
 
-        for i, job in enumerate(jobs):
-            if not isinstance(job, SimJob):
-                raise ReproError(f"SweepExecutor.run expects SimJobs, got {type(job)!r}")
-            key = job.key()
-            cached = self.store.get(key) if self.store is not None else None
-            if cached is not None:
-                results[i] = cached
-                stats.records.append(JobRecord(i, key, 0.0, "cache", job.tag))
-            else:
-                pending.append((i, key, job))
+        with tracer.span(
+            "exec.sweep", cat="exec", jobs=len(jobs), workers=self.workers
+        ) as sweep:
+            for i, job in enumerate(jobs):
+                if not isinstance(job, SimJob):
+                    raise ReproError(
+                        f"SweepExecutor.run expects SimJobs, got {type(job)!r}"
+                    )
+                key = job.key()
+                cached = self.store.get(key) if self.store is not None else None
+                if cached is not None:
+                    results[i] = cached
+                    stats.records.append(JobRecord(i, key, 0.0, "cache", job.tag))
+                    if tracer.enabled:
+                        tracer.event("exec.store_hit", cat="exec",
+                                     key=key[:12], index=i)
+                else:
+                    pending.append((i, key, job))
+                    if tracer.enabled and self.store is not None:
+                        tracer.event("exec.store_miss", cat="exec",
+                                     key=key[:12], index=i)
 
-        if pending:
-            # Duplicate keys inside one run simulate once; the extra
-            # occurrences share the result like cache hits.
-            unique: dict[str, tuple[int, SimJob]] = {}
-            for i, key, job in pending:
-                unique.setdefault(key, (i, job))
-            ordered = list(unique.values())
-            nworkers = min(self.workers, len(ordered))
-            outs = None
-            source = "pool"
-            if nworkers > 1:
-                outs = self._run_pool([job for _, job in ordered], nworkers)
-            if outs is None:
-                source = "serial"
-                outs = [_timed_run(job) for _, job in ordered]
-            computed = {key: out for (key, _), out in zip(unique.items(), outs)}
-            for i, key, job in pending:
-                result, seconds = computed[key]
-                first = unique[key][0] == i
-                results[i] = result
-                stats.records.append(
-                    JobRecord(i, key, seconds if first else 0.0,
-                              source if first else "cache", job.tag)
+            if pending:
+                # Duplicate keys inside one run simulate once; the extra
+                # occurrences share the result like cache hits.
+                unique: dict[str, tuple[int, SimJob]] = {}
+                for i, key, job in pending:
+                    unique.setdefault(key, (i, job))
+                ordered = list(unique.values())
+                nworkers = min(self.workers, len(ordered))
+                outs = None
+                source = "pool"
+                dispatch_ns = time.time_ns()
+                if nworkers > 1:
+                    outs = self._run_pool([job for _, job in ordered], nworkers)
+                if outs is None:
+                    source = "serial"
+                    outs = [_timed_run(job) for _, job in ordered]
+                computed = {key: out for (key, _), out in zip(unique.items(), outs)}
+                for i, key, job in pending:
+                    result, seconds, start_ns, worker_pid = computed[key]
+                    first = unique[key][0] == i
+                    results[i] = result
+                    stats.records.append(
+                        JobRecord(i, key, seconds if first else 0.0,
+                                  source if first else "cache", job.tag)
+                    )
+                    if first:
+                        fresh_results.append(result)
+                        if self.store is not None:
+                            self.store.put(key, result)
+                        if tracer.enabled:
+                            extra = (
+                                {"tag": "/".join(map(str, job.tag))}
+                                if job.tag else {}
+                            )
+                            tracer.add_span(
+                                "exec.job",
+                                start_ns=start_ns,
+                                dur_ns=int(seconds * 1e9),
+                                cat="exec",
+                                tid=worker_pid if source == "pool" else None,
+                                key=key[:12],
+                                source=source,
+                                index=i,
+                                worker_pid=worker_pid,
+                                refs=result.total_refs,
+                                queue_wait_s=round(
+                                    max(0.0, (start_ns - dispatch_ns) / 1e9), 6
+                                ),
+                                **extra,
+                            )
+
+            stats.records.sort(key=lambda r: r.index)
+            stats.wall_seconds = time.perf_counter() - t0
+            if tracer.enabled:
+                sweep.set(
+                    store_hits=stats.cache_hits,
+                    simulated=stats.cache_misses,
+                    sim_seconds=round(stats.sim_seconds, 6),
                 )
-                if first and self.store is not None:
-                    self.store.put(key, result)
 
-        stats.records.sort(key=lambda r: r.index)
-        stats.wall_seconds = time.perf_counter() - t0
+        self._publish_metrics(stats, fresh_results)
         self.stats = stats
         self.history.append(stats)
         return results  # type: ignore[return-value]
+
+    def _publish_metrics(
+        self, stats: ExecStats, fresh_results: list[SimulationResult]
+    ) -> None:
+        """Mirror one run's totals into the process-wide metrics registry.
+
+        ``exec.*`` counters carry exactly the numbers behind the ``[exec]``
+        CLI line; ``sim.refs`` and the per-level ``cache.<level>.*``
+        counters aggregate what the *fresh* simulations (including those
+        run in pool workers) pushed through each cache level.
+        """
+        m = get_metrics()
+        m.gauge("exec.workers").set(self.workers)
+        m.counter("exec.jobs").inc(stats.jobs)
+        m.counter("exec.store_hits").inc(stats.cache_hits)
+        m.counter("exec.simulated").inc(stats.cache_misses)
+        m.counter("exec.pool_jobs").inc(
+            sum(1 for r in stats.records if r.source == "pool")
+        )
+        m.counter("exec.sim_seconds").inc(stats.sim_seconds)
+        m.counter("exec.wall_seconds").inc(stats.wall_seconds)
+        if stats.cache_misses:
+            job_hist = m.histogram("exec.job_seconds")
+            for r in stats.records:
+                if r.source != "cache":
+                    job_hist.observe(r.seconds)
+        for result in fresh_results:
+            m.counter("sim.refs").inc(result.total_refs)
+            for lv in result.levels:
+                m.counter(f"cache.{lv.name}.accesses").inc(lv.accesses)
+                m.counter(f"cache.{lv.name}.misses").inc(lv.misses)
 
     def predict(self, jobs) -> list[SimulationResult]:
         """Analytically score jobs without simulating (or caching) them.
@@ -235,14 +330,19 @@ class SweepExecutor:
         jobs = list(jobs)
         t0 = time.perf_counter()
         out = []
-        for job in jobs:
-            if not isinstance(job, SimJob):
-                raise ReproError(
-                    f"SweepExecutor.predict expects SimJobs, got {type(job)!r}"
-                )
-            out.append(predict_job(job).result)
+        with get_tracer().span("exec.predict", cat="model", jobs=len(jobs)):
+            for job in jobs:
+                if not isinstance(job, SimJob):
+                    raise ReproError(
+                        f"SweepExecutor.predict expects SimJobs, got {type(job)!r}"
+                    )
+                out.append(predict_job(job).result)
+        elapsed = time.perf_counter() - t0
         self.predictions += len(jobs)
-        self.predict_seconds += time.perf_counter() - t0
+        self.predict_seconds += elapsed
+        m = get_metrics()
+        m.counter("model.predictions").inc(len(jobs))
+        m.counter("model.predict_seconds").inc(elapsed)
         return out
 
     def mark(self) -> int:

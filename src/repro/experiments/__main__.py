@@ -16,6 +16,12 @@ on-disk result store (``--cache-dir``, default ``~/.cache/repro-sim`` or
 ``$REPRO_CACHE_DIR``), so re-running a figure re-simulates only points
 whose program/layout/hierarchy actually changed.  ``--no-cache`` disables
 the store for a pure recomputation.
+
+``--trace PATH`` records the run as structured spans (one root span per
+experiment, one per sweep, one per simulation job) plus a metrics
+snapshot; ``--trace-format chrome`` writes a Perfetto/chrome://tracing
+loadable file instead of JSON lines.  ``report --trace PATH`` summarizes
+a recorded trace (top spans by self-time, store hit rate, refs/s).
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ import time
 
 from repro.exec.executor import SweepExecutor
 from repro.exec.store import ENV_CACHE_DIR, ResultStore
+from repro.obs.metrics import diff_counters, format_exec_line, get_metrics
+from repro.obs.report import format_report
+from repro.obs.tracer import get_tracer, start_tracing, stop_tracing
 from repro.experiments import (
     ext_assoc,
     ext_associativity,
@@ -86,8 +95,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which artifact to regenerate ('report' summarizes a trace)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -114,11 +123,31 @@ def main(argv: list[str] | None = None) -> int:
         "--budget", type=int, default=None, metavar="B",
         help="evaluation budget for search experiments (per kernel)",
     )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="PATH",
+        help="record a trace of the run to PATH "
+             "(or, with 'report', the trace file to summarize)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="trace file format: JSON lines (default) or Chrome "
+             "trace-event for chrome://tracing / Perfetto",
+    )
     args = parser.parse_args(argv)
     if args.budget is not None and args.budget < 1:
         parser.error(f"--budget must be >= 1, got {args.budget}")
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    if args.experiment == "report":
+        if args.trace is None:
+            parser.error("'report' needs --trace PATH pointing at a recorded trace")
+        if not args.trace.exists():
+            parser.error(f"no trace file at {args.trace}")
+        print(format_report(args.trace))
+        return 0
+
+    tracer = start_tracing() if args.trace is not None else get_tracer()
 
     store = None
     if not args.no_cache:
@@ -145,21 +174,39 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["executor"] = executor
         if "budget" in params and args.budget is not None:
             kwargs["budget"] = args.budget
-        mark = executor.mark()
+        before = get_metrics().snapshot()
         t0 = time.time()
-        result = module.run(**kwargs)
+        with tracer.span(f"experiment.{name}", cat="experiment",
+                         quick=args.quick):
+            result = module.run(**kwargs)
         report = result.format()
         elapsed = time.time() - t0
         print(f"==== {name} ({elapsed:.1f}s) ====")
         if "executor" in kwargs:
             # Cumulative over every sweep round the experiment ran --
             # search experiments drive the executor many times per run.
-            print(f"[exec] {executor.cumulative_stats(mark).format()}")
+            # Rendered from the metrics registry (counter deltas across
+            # the run), the single source the trace snapshot shares.
+            d = diff_counters(before, get_metrics().snapshot())
+            print("[exec] " + format_exec_line(
+                jobs=int(d.get("exec.jobs", 0)),
+                cache_hits=int(d.get("exec.store_hits", 0)),
+                pooled=int(d.get("exec.pool_jobs", 0)),
+                workers=executor.workers,
+                sim_seconds=d.get("exec.sim_seconds", 0.0),
+                wall_seconds=d.get("exec.wall_seconds", 0.0),
+            ))
         print(report)
         print()
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(report + "\n")
+    if args.trace is not None:
+        tracer.write(args.trace, format=args.trace_format,
+                     metrics=get_metrics().snapshot())
+        print(f"[obs] trace written to {args.trace} "
+              f"({args.trace_format}, {len(tracer.spans())} spans)")
+        stop_tracing()
     return 0
 
 

@@ -12,15 +12,14 @@ reporting alongside the model.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.cache.config import HierarchyConfig, ultrasparc_i
 from repro.kernels import dot as dot_kernel
 from repro.kernels import jacobi as jacobi_kernel
 from repro.kernels.numeric import allocate_pool, run_dot, run_jacobi
 from repro.layout.layout import DataLayout
+from repro.obs.metrics import best_of
 from repro.transforms.pad import multilvl_pad, pad
 from repro.util.tabulate import format_table
 
@@ -62,15 +61,6 @@ class TimingResult:
         )
 
 
-def _time_repeats(fn: Callable[[], object], repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def run(
     quick: bool = False,
     hierarchy: HierarchyConfig | None = None,
@@ -93,8 +83,11 @@ def run(
     for version, layout in layouts.items():
         arrays = allocate_pool(prog, layout, fill=1.0)
         x, z = arrays["X"], arrays["Z"]
-        seconds["dot"][version] = _time_repeats(
-            lambda: run_dot(x, z, repeats=inner), repeats
+        # best_of records every repeat in the `timing.dot.<version>`
+        # histogram as it measures, so a traced run keeps the raw samples.
+        seconds["dot"][version] = best_of(
+            lambda: run_dot(x, z, repeats=inner), repeats,
+            name=f"timing.dot.{version}",
         )
 
     n_jac = 192 if quick else 512
@@ -110,7 +103,8 @@ def run(
     for version, layout in layouts.items():
         arrays = allocate_pool(prog, layout, fill=1.0)
         a, b = arrays["A"], arrays["B"]
-        seconds["jacobi"][version] = _time_repeats(
-            lambda: run_jacobi(a, b, steps=steps), repeats
+        seconds["jacobi"][version] = best_of(
+            lambda: run_jacobi(a, b, steps=steps), repeats,
+            name=f"timing.jacobi.{version}",
         )
     return TimingResult(seconds=seconds)

@@ -1,0 +1,77 @@
+"""repro.obs -- unified tracing and metrics across the whole stack.
+
+The observability layer the executor, simulators, search, model, and
+experiment harnesses all report through:
+
+* :mod:`repro.obs.tracer` -- nested spans with monotonic timestamps,
+  process/thread ids and typed attributes; a process-wide registry whose
+  default is a true no-op; JSON-lines and Chrome trace-event export
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev);
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms unifying
+  the previously siloed stats (refs simulated, per-level hit/miss
+  totals, store hit rate, search evaluations, predictor scores);
+* :mod:`repro.obs.report` -- the ``repro-experiments report`` summary:
+  top spans by self-time, store hit rate, sims per second.
+
+Quick use::
+
+    from repro.obs import start_tracing, get_metrics
+
+    tracer = start_tracing()
+    ...  # run any sweep / search / experiment
+    tracer.write("out.json", format="chrome",
+                 metrics=get_metrics().snapshot())
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    best_of,
+    diff_counters,
+    format_exec_line,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from repro.obs.report import aggregate_spans, format_report, load_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    start_tracing,
+    stop_tracing,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "start_tracing",
+    "stop_tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+    "diff_counters",
+    "best_of",
+    "format_exec_line",
+    # report
+    "load_trace",
+    "aggregate_spans",
+    "format_report",
+]

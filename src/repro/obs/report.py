@@ -1,0 +1,171 @@
+"""Trace-file analysis: the ``repro-experiments report`` summary.
+
+Reads a trace produced by ``--trace`` (either format), aggregates spans
+by name, and prints the questions a perf investigation starts from:
+
+* **top spans by self-time** -- time inside a span minus time inside its
+  direct children, so a sweep that spends everything in its jobs shows
+  near-zero self-time and the jobs themselves surface;
+* **store behaviour** -- hit rate of the result store across the run;
+* **throughput** -- references simulated per second of simulation time,
+  and worker utilization (summed job time over wall x workers).
+
+The derived lines prefer the metrics snapshot embedded in the trace
+(written by the CLI at exit); spans alone still produce the table.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.util.tabulate import format_table
+
+__all__ = ["SpanAgg", "load_trace", "aggregate_spans", "format_report"]
+
+
+@dataclass(frozen=True)
+class SpanAgg:
+    """All spans of one name, rolled up."""
+
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def load_trace(path) -> tuple[list[dict], dict]:
+    """(span records, metrics snapshot) from a JSONL or Chrome trace file.
+
+    Chrome complete events are mapped back to the JSONL span shape
+    (``start_ns``/``dur_ns``/``parent``), so the aggregation below is
+    format-agnostic.  Raises ``ValueError`` on unrecognizable content.
+    """
+    path = pathlib.Path(path)
+    text = path.read_text()
+    # A chrome trace is one JSON document; JSONL is one document per line,
+    # so whole-text parsing fails on it (unless it has exactly one line --
+    # then the traceEvents check below tells them apart).
+    doc = None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        events = doc["traceEvents"]
+        spans = []
+        for ev in events:
+            if ev.get("ph") != "X":
+                continue
+            args = dict(ev.get("args") or {})
+            spans.append(
+                {
+                    "type": "span",
+                    "name": ev.get("name", "?"),
+                    "cat": ev.get("cat", ""),
+                    "start_ns": int(ev.get("ts", 0.0) * 1000),
+                    "dur_ns": int(ev.get("dur", 0.0) * 1000),
+                    "pid": ev.get("pid"),
+                    "tid": ev.get("tid"),
+                    "id": args.pop("id", None),
+                    "parent": args.pop("parent", None),
+                    "args": args,
+                }
+            )
+        return spans, doc.get("metrics") or {}
+    spans, metrics = [], {}
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not JSON lines ({exc})") from None
+        if row.get("type") == "metrics":
+            metrics = row.get("metrics") or {}
+        elif row.get("type") == "span":
+            spans.append(row)
+    return spans, metrics
+
+
+def aggregate_spans(spans: list[dict]) -> list[SpanAgg]:
+    """Per-name rollups, sorted by self-time descending."""
+    child_time: dict = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0) + (span.get("dur_ns") or 0)
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        dur = span.get("dur_ns") or 0
+        self_ns = max(0, dur - child_time.get(span.get("id"), 0))
+        agg = totals.setdefault(span["name"], [0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += dur / 1e9
+        agg[2] += self_ns / 1e9
+    rows = [
+        SpanAgg(name=name, count=int(c), total_s=t, self_s=s)
+        for name, (c, t, s) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_s, r.name))
+    return rows
+
+
+def _derived_lines(metrics: dict) -> list[str]:
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    lines = []
+    jobs = counters.get("exec.jobs", 0)
+    hits = counters.get("exec.store_hits", 0)
+    if jobs:
+        lines.append(
+            f"store hit rate: {hits}/{jobs} ({100.0 * hits / jobs:.0f}%)"
+        )
+    refs = counters.get("sim.refs", 0)
+    sim_s = counters.get("exec.sim_seconds", 0.0)
+    if refs and sim_s:
+        lines.append(
+            f"simulated refs: {refs:,} at {refs / sim_s / 1e6:.2f} M refs/s "
+            f"(sim {sim_s:.2f}s)"
+        )
+    wall_s = counters.get("exec.wall_seconds", 0.0)
+    workers = gauges.get("exec.workers", 1) or 1
+    if wall_s and sim_s:
+        util = sim_s / (wall_s * workers)
+        lines.append(
+            f"worker utilization: {100.0 * util:.0f}% "
+            f"(sim {sim_s:.2f}s / wall {wall_s:.2f}s x {workers} workers)"
+        )
+    evals = counters.get("search.evals", 0)
+    if evals:
+        memo = counters.get("search.memo_hits", 0)
+        lines.append(f"search evaluations: {evals} simulated, {memo} memoized")
+    preds = counters.get("model.predictions", 0)
+    if preds:
+        sims = counters.get("exec.simulated", 0)
+        ratio = f" ({preds / sims:.0f}x the simulations)" if sims else ""
+        lines.append(f"analytic predictions: {preds}{ratio}")
+    return lines
+
+
+def format_report(path, top: int = 12) -> str:
+    """The human summary of one trace file."""
+    spans, metrics = load_trace(path)
+    if not spans:
+        return f"{path}: trace contains no spans"
+    aggs = aggregate_spans(spans)
+    table = format_table(
+        ["span", "count", "total s", "self s", "mean s"],
+        [[a.name, a.count, a.total_s, a.self_s, a.mean_s] for a in aggs[:top]],
+        floatfmt=".4f",
+        title=f"Top spans by self-time ({len(spans)} spans in {path})",
+    )
+    lines = _derived_lines(metrics)
+    if lines:
+        return table + "\n" + "\n".join(f"[obs] {line}" for line in lines)
+    return table

@@ -1,0 +1,361 @@
+"""Structured tracing: nested spans with negligible disabled overhead.
+
+One experiment run produces thousands of simulations across sweep rounds,
+search loops, and worker processes; a flat wall-clock number cannot say
+*where* the time went.  The tracer records a tree of **spans** -- named,
+timed regions with typed attributes -- plus instant **events**, and
+exports them as JSON lines or as the Chrome trace-event format that
+``chrome://tracing`` and Perfetto load directly.
+
+Design constraints, in order:
+
+* **Disabled is free.**  The process-wide default is a
+  :class:`NullTracer` whose ``span()`` returns one shared no-op context
+  manager; hot paths guard attribute construction behind
+  ``tracer.enabled``, so an untraced run pays one global read and one
+  boolean test per instrumentation site.
+* **Zero dependencies.**  Standard library only; one small module.
+* **Cross-process composable.**  Sweep jobs execute in worker processes
+  where no tracer lives; workers report wall-clock ``(start_ns,
+  duration)`` pairs back and the parent *synthesizes* their spans via
+  :meth:`Tracer.add_span`, tagging each with the worker pid so per-worker
+  lanes appear in a trace viewer.
+
+Timestamps are ``time.time_ns()`` epoch nanoseconds (comparable across
+processes on one machine); durations are measured with
+``time.perf_counter_ns()`` where the span is live, so they do not inherit
+wall-clock adjustments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "start_tracing",
+    "stop_tracing",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span (``dur_ns`` set) or instant event (``dur_ns`` None)."""
+
+    name: str
+    cat: str
+    start_ns: int  # epoch nanoseconds (time.time_ns)
+    dur_ns: int | None
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: int | None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Span duration in seconds (0.0 for instant events)."""
+        return (self.dur_ns or 0) / 1e9
+
+    def to_json(self) -> dict:
+        """The JSONL encoding (``type`` distinguishes spans from events)."""
+        out = {
+            "type": "span" if self.dur_ns is not None else "event",
+            "name": self.name,
+            "cat": self.cat,
+            "start_ns": self.start_ns,
+            "pid": self.pid,
+            "tid": self.tid,
+            "id": self.span_id,
+            "parent": self.parent_id,
+        }
+        if self.dur_ns is not None:
+            out["dur_ns"] = self.dur_ns
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event encoding (``ph`` X complete / i instant)."""
+        event = {
+            "name": self.name,
+            "cat": self.cat or "repro",
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": self.start_ns / 1000.0,  # microseconds
+            "args": {**self.args, "id": self.span_id, "parent": self.parent_id},
+        }
+        if self.dur_ns is not None:
+            event["ph"] = "X"
+            event["dur"] = self.dur_ns / 1000.0
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        return event
+
+
+class _ActiveSpan:
+    """Context manager for one live span; exposes ``set()`` for late attrs."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "span_id", "parent_id",
+                 "_start_ns", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.span_id = tracer._next_id()
+        self.parent_id: int | None = None
+        self._start_ns = 0
+        self._t0 = 0
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        """Attach attributes discovered while the span is running."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start_ns = time.time_ns()
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_ns = time.perf_counter_ns() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self._tracer._record(
+            Span(
+                name=self.name,
+                cat=self.cat,
+                start_ns=self._start_ns,
+                dur_ns=dur_ns,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                args=self.args,
+            )
+        )
+
+
+class Tracer:
+    """Collects spans and events; thread-safe; export via ``write_*``."""
+
+    enabled = True
+
+    def __init__(self):
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- internals ---------------------------------------------------------
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # -- recording API -----------------------------------------------------
+    def span(self, name: str, cat: str = "", **attrs) -> _ActiveSpan:
+        """Context manager timing a nested region::
+
+            with tracer.span("exec.sweep", cat="exec", jobs=12) as sp:
+                ...
+                sp.set(hits=3)
+        """
+        return _ActiveSpan(self, name, cat, attrs)
+
+    def event(self, name: str, cat: str = "", **attrs) -> None:
+        """Record an instant event under the current span."""
+        stack = self._stack()
+        self._record(
+            Span(
+                name=name,
+                cat=cat,
+                start_ns=time.time_ns(),
+                dur_ns=None,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self._next_id(),
+                parent_id=stack[-1] if stack else None,
+                args=attrs,
+            )
+        )
+
+    def add_span(
+        self,
+        name: str,
+        start_ns: int,
+        dur_ns: int,
+        cat: str = "",
+        pid: int | None = None,
+        tid: int | None = None,
+        **attrs,
+    ) -> None:
+        """Synthesize a completed span observed elsewhere (worker processes).
+
+        The span parents under the caller's *current* span, so pool jobs
+        nest below the sweep that dispatched them even though they ran in
+        another process; pass the worker's pid as ``tid`` to give each
+        worker its own lane in trace viewers.
+        """
+        stack = self._stack()
+        self._record(
+            Span(
+                name=name,
+                cat=cat,
+                start_ns=start_ns,
+                dur_ns=dur_ns,
+                pid=pid if pid is not None else os.getpid(),
+                tid=tid if tid is not None else threading.get_ident(),
+                span_id=self._next_id(),
+                parent_id=stack[-1] if stack else None,
+                args=attrs,
+            )
+        )
+
+    def current_span_id(self) -> int | None:
+        """The innermost live span's id in this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- reading & export --------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Everything recorded so far (copy; spans and events)."""
+        with self._lock:
+            return list(self._spans)
+
+    def write_jsonl(self, path, metrics: dict | None = None) -> None:
+        """One JSON object per line; a final ``type: metrics`` line when
+        a metrics snapshot is supplied."""
+        with open(path, "w") as f:
+            for span in self.spans():
+                f.write(json.dumps(span.to_json(), separators=(",", ":")) + "\n")
+            if metrics:
+                f.write(
+                    json.dumps({"type": "metrics", "metrics": metrics},
+                               separators=(",", ":")) + "\n"
+                )
+
+    def write_chrome(self, path, metrics: dict | None = None) -> None:
+        """Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
+
+        The metrics snapshot rides along under a top-level ``metrics``
+        key, which trace viewers ignore.
+        """
+        doc: dict = {"traceEvents": [s.to_chrome() for s in self.spans()],
+                     "displayTimeUnit": "ms"}
+        if metrics:
+            doc["metrics"] = metrics
+        with open(path, "w") as f:
+            json.dump(doc, f)
+
+    def write(self, path, format: str = "jsonl", metrics: dict | None = None) -> None:
+        """Dispatch on ``format`` ("jsonl" or "chrome")."""
+        if format == "jsonl":
+            self.write_jsonl(path, metrics=metrics)
+        elif format == "chrome":
+            self.write_chrome(path, metrics=metrics)
+        else:
+            raise ValueError(f"unknown trace format {format!r}")
+
+
+class _NullSpan:
+    """The shared do-nothing span: ``with`` works, ``set()`` works."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op returning shared objects.
+
+    ``span()`` hands back one process-wide singleton, so a disabled
+    instrumentation site allocates nothing and writes nothing -- the
+    property the ``<2%`` overhead guard in ``benchmarks/test_bench_obs.py``
+    pins down.
+    """
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, cat: str = "", **attrs) -> None:
+        return None
+
+    def add_span(self, *args, **kwargs) -> None:
+        return None
+
+    def current_span_id(self) -> None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> None:
+    """Install a process-wide tracer (pass :data:`NULL_TRACER` to disable)."""
+    global _tracer
+    _tracer = tracer
+
+
+def start_tracing() -> Tracer:
+    """Install and return a fresh recording :class:`Tracer`."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def stop_tracing() -> Tracer | NullTracer:
+    """Restore the no-op default; returns the tracer that was active."""
+    global _tracer
+    previous = _tracer
+    _tracer = NULL_TRACER
+    return previous

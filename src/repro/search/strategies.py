@@ -216,18 +216,25 @@ class PredictThenVerifyStrategy:
         return sorted(seen)
 
     def run(self, space, evaluate, rng, start=None) -> None:
+        from repro.obs.tracer import get_tracer
         from repro.search.objective import model_objective
 
+        tracer = get_tracer()
         scorer = self.objective if self.objective is not None else model_objective()
-        candidates = self._candidates(space, rng, start)
-        self.last_scored = len(candidates)
-        # Ties break toward the lexicographically smallest config, so the
-        # verified set is a pure function of (space, seed).
-        scored = sorted((scorer(space.job(c)), c) for c in candidates)
+        with tracer.span("ptv.predict", cat="search", space=space.name) as predict:
+            candidates = self._candidates(space, rng, start)
+            self.last_scored = len(candidates)
+            # Ties break toward the lexicographically smallest config, so the
+            # verified set is a pure function of (space, seed).
+            scored = sorted((scorer(space.job(c)), c) for c in candidates)
+            if tracer.enabled:
+                predict.set(scored=len(candidates))
         top = [c for _, c in scored[: self.top_k]]
         if start is not None and start not in top:
             top.append(start)  # usually memoized already; never a new sim
-        evaluate(top)
+        with tracer.span("ptv.verify", cat="search",
+                         space=space.name, top_k=len(top)):
+            evaluate(top)
 
 
 STRATEGIES: dict[str, Callable[[], SearchStrategy]] = {

@@ -24,6 +24,8 @@ from typing import Sequence
 from repro.errors import ReproError
 from repro.exec.executor import SweepExecutor
 from repro.exec.store import ResultStore
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.search.objective import Objective, miss_cost_objective
 from repro.search.report import SearchReport
 from repro.search.space import Config, SearchSpace
@@ -75,6 +77,8 @@ class Autotuner:
         objective = objective if objective is not None else miss_cost_objective()
         strat = get_strategy(strategy)
         rng = random.Random(seed)
+        tracer = get_tracer()
+        metrics = get_metrics()
 
         memo: dict[Config, float] = {}
         trajectory: list[tuple[int, float]] = []
@@ -89,6 +93,11 @@ class Autotuner:
                 state["best"] = value
                 state["best_config"] = config
                 trajectory.append((state["evals"], value))
+                # Objective improvements as instant events: the search
+                # trajectory falls straight out of any recorded trace.
+                if tracer.enabled:
+                    tracer.event("search.best", cat="search",
+                                 value=value, evals=state["evals"])
 
         def evaluate(configs: Sequence[Config]) -> list[float]:
             cfgs = [space.validate(c) for c in configs]
@@ -102,6 +111,7 @@ class Autotuner:
                 else:
                     fresh.append(c)
                     seen_in_batch.add(c)
+            metrics.counter("search.memo_hits").inc(len(cfgs) - len(fresh))
             truncated = False
             if budget is not None:
                 remaining = budget - state["evals"]
@@ -111,12 +121,16 @@ class Autotuner:
                     fresh = fresh[:remaining]
                     truncated = True
             if fresh:
-                jobs = [space.job(c) for c in fresh]
-                results = self.executor.run(jobs)
+                with tracer.span("search.round", cat="search",
+                                 proposed=len(cfgs), fresh=len(fresh)):
+                    jobs = [space.job(c) for c in fresh]
+                    results = self.executor.run(jobs)
                 stats = self.executor.stats
                 state["store_hits"] += stats.cache_hits
                 state["sim_seconds"] += stats.sim_seconds
                 state["wall_seconds"] += stats.wall_seconds
+                metrics.counter("search.evals").inc(len(fresh))
+                metrics.counter("search.store_hits").inc(stats.cache_hits)
                 for c, job, result in zip(fresh, jobs, results):
                     value = objective(result, job.hierarchy)
                     memo[c] = value
@@ -128,13 +142,20 @@ class Autotuner:
 
         stopped = "completed"
         start: Config | None = None
-        try:
-            if baseline is not None:
-                start = space.validate(baseline)
-                evaluate([start])
-            strat.run(space, evaluate, rng, start=start)
-        except _BudgetExhausted:
-            stopped = "budget"
+        with tracer.span(
+            "search.run", cat="search",
+            space=space.name, strategy=strat.name, objective=objective.name,
+        ) as search_span:
+            try:
+                if baseline is not None:
+                    start = space.validate(baseline)
+                    evaluate([start])
+                strat.run(space, evaluate, rng, start=start)
+            except _BudgetExhausted:
+                stopped = "budget"
+            if tracer.enabled:
+                search_span.set(evaluations=state["evals"], stopped=stopped,
+                                best=state["best"])
 
         if state["best"] is None:
             raise ReproError(

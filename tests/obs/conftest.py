@@ -1,0 +1,20 @@
+"""Obs tests share process-wide singletons; isolate them per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import reset_metrics, set_metrics, get_metrics
+from repro.obs.tracer import stop_tracing
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_globals():
+    """Fresh registry per test; always restore the no-op tracer."""
+    previous = get_metrics()
+    reset_metrics()
+    try:
+        yield
+    finally:
+        stop_tracing()
+        set_metrics(previous)

@@ -112,6 +112,39 @@ class TestSearchExports:
             assert get_strategy(name).name == name
 
 
+class TestObsExports:
+    """The observability layer is re-exported from the package root."""
+
+    OBS_NAMES = [
+        "Tracer",
+        "MetricsRegistry",
+        "get_tracer",
+        "get_metrics",
+        "start_tracing",
+        "stop_tracing",
+    ]
+
+    def test_names_in_package_all(self):
+        import repro
+
+        for name in self.OBS_NAMES:
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_root_exports_match_subpackage(self):
+        import repro
+        import repro.obs
+
+        for name in self.OBS_NAMES:
+            assert getattr(repro, name) is getattr(repro.obs, name)
+
+    def test_default_tracer_is_the_disabled_singleton(self):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        assert get_tracer() is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+
+
 class TestCacheSimulatorExports:
     """Both k-way simulators (oracle and vectorized) are package API."""
 

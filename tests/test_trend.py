@@ -1,0 +1,110 @@
+"""Per-machine baseline families in the benchmark trend gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from benchmarks.recorder import append_session, machine_family
+from benchmarks.trend import main as trend_main
+from benchmarks.trend import resolve_baseline
+
+
+def _history(mean_s: float) -> str:
+    return json.dumps(
+        [{"timestamp": "t", "benchmarks": [{"name": "b1", "mean_s": mean_s}]}]
+    )
+
+
+@pytest.fixture
+def paths(tmp_path):
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(_history(1.0))  # half the baseline throughput
+    basedir = tmp_path / "baselines"
+    basedir.mkdir()
+    flat = basedir / "BENCH.json"
+    flat.write_text(_history(0.5))
+    return fresh, flat
+
+
+class TestMachineFamily:
+    def test_shape(self):
+        assert re.fullmatch(r"[\w.-]+-[0-9]+cpu", machine_family())
+
+    def test_stable_within_process(self):
+        assert machine_family() == machine_family()
+
+
+class TestResolveBaseline:
+    def test_prefers_family_directory(self, paths):
+        _, flat = paths
+        fam_dir = flat.parent / "famA"
+        fam_dir.mkdir()
+        (fam_dir / flat.name).write_text(_history(0.5))
+        resolved, gated = resolve_baseline(flat, "famA")
+        assert resolved == fam_dir / flat.name
+        assert gated is True
+
+    def test_falls_back_to_flat_ungated(self, paths):
+        _, flat = paths
+        resolved, gated = resolve_baseline(flat, "no-such-family")
+        assert resolved == flat
+        assert gated is False
+
+    def test_repo_ships_a_ci_family(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        fam = root / "benchmarks" / "baselines" / "x86_64-4cpu"
+        assert (fam / "BENCH_search.json").is_file()
+        assert (fam / "BENCH_assoc.json").is_file()
+
+
+class TestGate:
+    def test_family_match_applies_full_gate(self, paths, capsys):
+        fresh, flat = paths
+        fam_dir = flat.parent / "famA"
+        fam_dir.mkdir()
+        (fam_dir / flat.name).write_text(_history(0.5))
+        rc = trend_main([str(fresh), str(flat), "--family", "famA"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[fail]" in out
+
+    def test_flat_fallback_is_warn_only(self, paths, capsys):
+        fresh, flat = paths
+        rc = trend_main([str(fresh), str(flat), "--family", "other"])
+        out = capsys.readouterr().out
+        assert rc == 0  # a 50% drop would fail, but no family matched
+        assert "[warn]" in out
+        assert "[fail]" not in out
+        assert "warn-only" in out
+
+    def test_default_family_is_machine_fingerprint(self, paths, capsys):
+        fresh, flat = paths
+        fam_dir = flat.parent / machine_family()
+        fam_dir.mkdir()
+        (fam_dir / flat.name).write_text(_history(0.5))
+        rc = trend_main([str(fresh), str(flat)])
+        assert rc == 1  # this host's family exists -> gated
+
+    def test_missing_baseline_still_skips(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(_history(1.0))
+        rc = trend_main([str(fresh), str(tmp_path / "nope.json")])
+        assert rc == 0
+        assert "skipping" in capsys.readouterr().out
+
+
+class TestRecorderSessionRecord:
+    def test_machine_and_metrics_attached(self, tmp_path):
+        from repro.obs.metrics import get_metrics
+
+        get_metrics().counter("test.trend.marker").inc(7)
+        out = tmp_path / "bench.json"
+        written = append_session([{"name": "b1", "mean_s": 0.1}], out)
+        assert written == out
+        (record,) = json.loads(out.read_text())
+        assert record["machine"] == machine_family()
+        assert record["metrics"]["counters"]["test.trend.marker"] >= 7
