@@ -23,6 +23,9 @@ The package implements, from scratch, every system the paper relies on:
 * :mod:`repro.obs` -- zero-dependency tracing (nested spans, Chrome
   trace-event export) and a metrics registry, instrumented across the
   executor, simulators, search, and model;
+* :mod:`repro.fuzz` -- seeded random-program generation, a differential
+  predictor-vs-simulator-vs-oracle harness, divergence shrinking, and a
+  distilled regression corpus;
 * :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -76,6 +79,12 @@ from repro.driver import (
     optimize_searched,
 )
 from repro.exec import ResultStore, SimJob, SweepExecutor
+from repro.fuzz import (
+    FuzzConfig,
+    random_program,
+    run_campaign,
+    shrink_program,
+)
 from repro.model import (
     PredictedStats,
     predict_job,
@@ -165,6 +174,11 @@ __all__ = [
     "PredictThenVerifyStrategy",
     "Autotuner",
     "SearchReport",
+    # differential fuzzing
+    "FuzzConfig",
+    "random_program",
+    "run_campaign",
+    "shrink_program",
     # analytic miss prediction
     "PredictedStats",
     "predict_program",

@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments ext_search --workers 4 --budget 64
     python -m repro.experiments ext_assoc --quick --budget 16    # k-way search
     python -m repro.experiments ext_model --quick          # predictor vs simulator
+    python -m repro.experiments ext_fuzz --quick           # differential fuzzing
+    python -m repro.experiments ext_fuzz --seed 9 --count 1      # one fuzz case
     python -m repro.experiments assoc_claim --quick        # Section 1 claim check
     python -m repro.experiments all --quick --out results/
 
@@ -41,6 +43,7 @@ from repro.obs.tracer import get_tracer, start_tracing, stop_tracing
 from repro.experiments import (
     ext_assoc,
     ext_associativity,
+    ext_fuzz,
     ext_model,
     ext_search,
     ext_three_level,
@@ -72,11 +75,24 @@ EXPERIMENTS = {
     "ext_search": ext_search,
     "ext_assoc": ext_assoc,
     "ext_model": ext_model,
+    "ext_fuzz": ext_fuzz,
 }
 
 # Old verb -> replacement.  Aliases still run (scripts keep working) but
 # warn, and "all" skips them so each experiment executes once.
 DEPRECATED_ALIASES = {"associativity": "assoc_claim"}
+
+
+def experiment_names(verb: str) -> list[str]:
+    """The experiments one CLI verb expands to.
+
+    ``"all"`` runs every registered experiment exactly once -- deprecated
+    aliases are skipped, their targets run under the canonical name.  Any
+    other verb (including an alias) runs just itself.
+    """
+    if verb == "all":
+        return sorted(k for k in EXPERIMENTS if k not in DEPRECATED_ALIASES)
+    return [verb]
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -121,7 +137,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--budget", type=int, default=None, metavar="B",
-        help="evaluation budget for search experiments (per kernel)",
+        help="evaluation budget for search experiments (per kernel), "
+             "or per-program reference cap for ext_fuzz",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="base seed for seeded experiments (ext_fuzz: the campaign "
+             "window start; --seed S --count 1 reruns one fuzz case)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="number of fuzzed programs for ext_fuzz",
     )
     parser.add_argument(
         "--trace", type=pathlib.Path, default=None, metavar="PATH",
@@ -138,6 +164,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--budget must be >= 1, got {args.budget}")
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.count is not None and args.count < 1:
+        parser.error(f"--count must be >= 1, got {args.count}")
 
     if args.experiment == "report":
         if args.trace is None:
@@ -154,11 +182,7 @@ def main(argv: list[str] | None = None) -> int:
         store = ResultStore(args.cache_dir or default_cache_dir())
     executor = SweepExecutor(workers=args.workers, store=store)
 
-    if args.experiment == "all":
-        names = sorted(k for k in EXPERIMENTS if k not in DEPRECATED_ALIASES)
-    else:
-        names = [args.experiment]
-    for name in names:
+    for name in experiment_names(args.experiment):
         if name in DEPRECATED_ALIASES:
             print(
                 f"warning: {name!r} is deprecated; "
@@ -174,6 +198,10 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["executor"] = executor
         if "budget" in params and args.budget is not None:
             kwargs["budget"] = args.budget
+        if "seed" in params and args.seed is not None:
+            kwargs["seed"] = args.seed
+        if "count" in params and args.count is not None:
+            kwargs["count"] = args.count
         before = get_metrics().snapshot()
         t0 = time.time()
         with tracer.span(f"experiment.{name}", cat="experiment",

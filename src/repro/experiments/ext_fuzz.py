@@ -1,0 +1,149 @@
+"""Extension: differential fuzzing of predictor, simulators, and tracer.
+
+A seeded campaign (:func:`repro.fuzz.run_campaign`) generates random
+valid affine programs and pushes every one through the repo's
+differential pairs on a set of deliberately tiny two-level hierarchies:
+
+* trace generator vs. bounds-checking interpreter (byte equality),
+* vectorized hierarchy simulation vs. a sequential LRU oracle
+  (exact per-level access/miss equality),
+* closed-form predictor vs. simulator (per-level error bands).
+
+The report shows the per-level band histogram -- the predictor's
+measured accuracy envelope over the random-program population -- and
+lists every divergent case with its one-line repro command.  Divergences
+already distilled into ``tests/fuzz/corpus/`` count as *known*; the
+``[fuzz] smoke`` line's ``unminimized`` field is the CI gate: a
+fixed-seed campaign must find **zero** divergences that are not already
+committed, minimized regression cases.
+
+Reproduce any case::
+
+    PYTHONPATH=src python -m repro.experiments ext_fuzz --seed <case_seed> --count 1
+
+``--seed`` moves the whole campaign window; ``--count`` sizes it;
+``--budget`` caps each program's dynamic reference count.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.exec.executor import SweepExecutor
+from repro.fuzz.corpus import corpus_known_seeds, default_corpus_dir, load_corpus
+from repro.fuzz.generator import FuzzConfig
+from repro.fuzz.harness import (
+    BAND_ORDER,
+    FUZZ_HIERARCHIES,
+    QUICK_HIERARCHY_NAMES,
+    CampaignReport,
+    run_campaign,
+)
+from repro.util.tabulate import format_table
+
+__all__ = [
+    "run",
+    "ExtFuzzResult",
+    "DEFAULT_COUNT",
+    "QUICK_COUNT",
+    "DEFAULT_BUDGET",
+    "QUICK_BUDGET",
+]
+
+DEFAULT_COUNT = 500  # programs per campaign (the CI acceptance floor)
+QUICK_COUNT = 100
+DEFAULT_BUDGET = 4000  # max dynamic references per generated program
+QUICK_BUDGET = 2000
+
+
+@dataclass(frozen=True)
+class ExtFuzzResult:
+    """One campaign's findings plus the corpus it was checked against."""
+
+    report: CampaignReport
+    corpus_cases: int
+    corpus_dir: pathlib.Path
+
+    def smoke_line(self) -> str:
+        return self.report.smoke_line()
+
+    def format(self) -> str:
+        rep = self.report
+        hist = rep.band_histogram()
+        bands = format_table(
+            ["level"] + list(BAND_ORDER),
+            [
+                [level] + [counts[b] for b in BAND_ORDER]
+                for level, counts in sorted(hist.items())
+            ],
+            title=(
+                f"Fuzz campaign: {rep.programs} programs x "
+                f"{len(rep.hierarchy_names)} hierarchies "
+                f"({', '.join(rep.hierarchy_names)}), "
+                f"{rep.total_refs} refs, {rep.wall_seconds:.1f}s "
+                f"-- predictor error bands per level (cases)"
+            ),
+        )
+        lines = [bands, ""]
+        divergent = rep.divergent_cases()
+        if divergent:
+            lines.append(
+                f"divergent cases ({len(divergent)}, "
+                f"{rep.unminimized} not in corpus):"
+            )
+            for case in divergent:
+                mark = "known" if case.known else "NEW"
+                lines.append(f"  [{mark}] {case.describe()}")
+        else:
+            lines.append("divergent cases: none")
+        lines.append(
+            f"corpus: {self.corpus_cases} committed cases in {self.corpus_dir}"
+        )
+        lines.append(self.smoke_line())
+        return "\n".join(lines)
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    count: int | None = None,
+    budget: int | None = None,
+    hierarchies: dict | None = None,
+    corpus_dir: str | pathlib.Path | None = None,
+    executor: SweepExecutor | None = None,
+) -> ExtFuzzResult:
+    """Run one differential fuzz campaign and check it against the corpus.
+
+    ``budget`` is the per-program dynamic reference cap
+    (:attr:`FuzzConfig.max_refs`); quick mode trims the program count and
+    the hierarchy set, not the checks -- every case still runs every
+    differential pair.
+    """
+    if count is None:
+        count = QUICK_COUNT if quick else DEFAULT_COUNT
+    if budget is None:
+        budget = QUICK_BUDGET if quick else DEFAULT_BUDGET
+    if budget < 1:
+        raise ReproError(f"budget must be >= 1, got {budget}")
+    if hierarchies is None:
+        hierarchies = (
+            {k: FUZZ_HIERARCHIES[k] for k in QUICK_HIERARCHY_NAMES}
+            if quick
+            else dict(FUZZ_HIERARCHIES)
+        )
+    corpus_dir = pathlib.Path(corpus_dir) if corpus_dir else default_corpus_dir()
+    corpus = load_corpus(corpus_dir)
+
+    report = run_campaign(
+        seed=seed,
+        count=count,
+        config=FuzzConfig(max_refs=budget),
+        hierarchies=hierarchies,
+        executor=executor,
+        known_seeds=corpus_known_seeds(corpus),
+    )
+    return ExtFuzzResult(
+        report=report, corpus_cases=len(corpus), corpus_dir=corpus_dir
+    )

@@ -1,0 +1,55 @@
+"""Kernel fuzzing at scale: generation, differential testing, distillation.
+
+``repro.fuzz`` closes the loop the hand-written test suite cannot: the
+paper's kernels exercise a dozen loop shapes, but the predictor, the
+vectorized simulators, and the trace generator claim to agree on *all*
+affine programs.  This package generates random valid programs from a
+seed (:mod:`.generator`), runs every cross-check between the independent
+backends (:mod:`.harness`), minimizes whatever disagrees (:mod:`.shrink`),
+and commits the minimized cases as a replayable regression corpus
+(:mod:`.corpus`).  The ``ext_fuzz`` experiment verb drives campaigns from
+the CLI.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusCase,
+    corpus_known_seeds,
+    default_corpus_dir,
+    load_corpus,
+    save_case,
+)
+from repro.fuzz.generator import FuzzConfig, program_stream, random_program
+from repro.fuzz.harness import (
+    FUZZ_HIERARCHIES,
+    MODEL_BANDS,
+    CampaignReport,
+    CaseReport,
+    Divergence,
+    diff_case,
+    oracle_simulate,
+    repro_command,
+    run_campaign,
+)
+from repro.fuzz.shrink import shrink_program, tighten_arrays
+
+__all__ = [
+    "FuzzConfig",
+    "random_program",
+    "program_stream",
+    "MODEL_BANDS",
+    "FUZZ_HIERARCHIES",
+    "Divergence",
+    "CaseReport",
+    "CampaignReport",
+    "repro_command",
+    "diff_case",
+    "oracle_simulate",
+    "run_campaign",
+    "shrink_program",
+    "tighten_arrays",
+    "CorpusCase",
+    "save_case",
+    "load_corpus",
+    "corpus_known_seeds",
+    "default_corpus_dir",
+]

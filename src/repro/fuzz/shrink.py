@@ -1,0 +1,224 @@
+"""Greedy divergence-preserving program minimization.
+
+A campaign-scale divergence is only useful once it is small enough to
+stare at.  :func:`shrink_program` walks a fixed sequence of reduction
+passes -- drop nests, drop statements, drop reads, halve loop trips,
+simplify subscripts to stride 1 / offset 0, flatten triangular bounds --
+and accepts a candidate whenever (a) it still validates and (b) the
+caller's ``still_diverges`` predicate still fires.  Array extents are
+re-tightened after every accepted step, so the minimized program's
+declarations match exactly what it touches.
+
+The predicate sees complete candidate :class:`~repro.ir.program.Program`
+objects, so the same shrinker serves every divergence kind: sim-vs-oracle
+mismatches, model blind spots, trace disagreements.  Passes iterate to a
+fixpoint with a hard round cap; shrinking is deterministic, so a
+minimized corpus case is stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import IRError, ReproError
+from repro.ir.affine import AffineExpr, const
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.program import Program
+from repro.ir.ranges import affine_interval, loop_var_ranges
+from repro.ir.validate import validate_program
+
+__all__ = ["shrink_program", "tighten_arrays"]
+
+MAX_ROUNDS = 40
+
+
+def _is_valid(program: Program) -> bool:
+    try:
+        return not any(
+            f.severity == "error" for f in validate_program(program)
+        )
+    except IRError:
+        return False
+
+
+def tighten_arrays(program: Program) -> Program:
+    """Drop unreferenced arrays and shrink extents to the subscript hulls.
+
+    Keeps the program valid by construction: the new extent of every
+    dimension is exactly the interval maximum of the subscripts that
+    touch it (at least 1).
+    """
+    needed: dict[str, list[int]] = {}
+    for nest in program.nests:
+        ranges = loop_var_ranges(nest)
+        for ref in nest.refs:
+            decl = program.decl(ref.array)
+            extents = needed.setdefault(ref.array, [1] * decl.rank)
+            for dim, sub in enumerate(ref.subscripts):
+                _, hi = affine_interval(sub, ranges)
+                extents[dim] = max(extents[dim], hi)
+    arrays = tuple(
+        ArrayDecl(a.name, tuple(needed[a.name]), a.element_size)
+        for a in program.arrays
+        if a.name in needed
+    )
+    if not arrays:
+        return program
+    return Program(program.name, arrays, program.nests)
+
+
+def _drop_nests(program: Program) -> Iterator[Program]:
+    if len(program.nests) <= 1:
+        return
+    for i in range(len(program.nests)):
+        nests = program.nests[:i] + program.nests[i + 1:]
+        yield program.with_nests(nests)
+
+
+def _drop_statements(program: Program) -> Iterator[Program]:
+    for ni, nest in enumerate(program.nests):
+        if len(nest.body) <= 1:
+            continue
+        for si in range(len(nest.body)):
+            body = nest.body[:si] + nest.body[si + 1:]
+            yield program.replace_nest(ni, nest.with_body(body))
+
+
+def _drop_reads(program: Program) -> Iterator[Program]:
+    for ni, nest in enumerate(program.nests):
+        for si, st in enumerate(nest.body):
+            if len(st.refs) <= 1:
+                continue
+            for ri in range(len(st.refs)):
+                refs = st.refs[:ri] + st.refs[ri + 1:]
+                body = list(nest.body)
+                body[si] = Statement(refs, st.flops, st.label)
+                yield program.replace_nest(ni, nest.with_body(tuple(body)))
+
+
+def _halve_trips(program: Program) -> Iterator[Program]:
+    for ni, nest in enumerate(program.nests):
+        for li, lp in enumerate(nest.loops):
+            if not (lp.lower.is_constant and lp.upper.is_constant):
+                continue
+            trip = lp.trip_count()
+            if trip <= 1:
+                continue
+            lo = lp.lower.constant
+            upper = const(lo + (max(1, trip // 2) - 1) * lp.step)
+            loops = list(nest.loops)
+            loops[li] = Loop(lp.var, lp.lower, upper, lp.step,
+                             lp.extra_uppers, lp.extra_lowers)
+            yield program.replace_nest(ni, nest.with_loops(tuple(loops)))
+
+
+def _flatten_triangular(program: Program) -> Iterator[Program]:
+    """Replace symbolic loop bounds with their constant interval hulls."""
+    for ni, nest in enumerate(program.nests):
+        ranges = loop_var_ranges(nest)
+        for li, lp in enumerate(nest.loops):
+            if lp.is_rectangular and not (lp.extra_uppers or lp.extra_lowers):
+                continue
+            lo, _ = affine_interval(lp.lower, ranges)
+            _, hi = affine_interval(lp.upper, ranges)
+            loops = list(nest.loops)
+            loops[li] = Loop(lp.var, const(lo), const(max(lo, hi)), lp.step)
+            yield program.replace_nest(ni, nest.with_loops(tuple(loops)))
+
+
+def _simplify_subscripts(program: Program) -> Iterator[Program]:
+    """One subscript at a time: stride -> +-1, then offset -> minimal."""
+    for ni, nest in enumerate(program.nests):
+        ranges = loop_var_ranges(nest)
+        for si, st in enumerate(nest.body):
+            for ri, ref in enumerate(st.refs):
+                for di, sub in enumerate(ref.subscripts):
+                    for simpler in _simpler_subscripts(sub, ranges):
+                        refs = list(st.refs)
+                        subs = list(ref.subscripts)
+                        subs[di] = simpler
+                        refs[ri] = type(ref)(ref.array, tuple(subs),
+                                             ref.is_write)
+                        body = list(nest.body)
+                        body[si] = Statement(tuple(refs), st.flops, st.label)
+                        yield program.replace_nest(
+                            ni, nest.with_body(tuple(body))
+                        )
+
+
+def _simpler_subscripts(sub: AffineExpr, ranges) -> Iterator[AffineExpr]:
+    candidates: list[AffineExpr] = []
+    terms = sub.terms
+    if len(terms) > 1:
+        # Collapse multi-variable subscripts to a single variable.
+        for name, coeff in terms.items():
+            base = AffineExpr({name: coeff})
+            lo, _ = affine_interval(base, ranges)
+            candidates.append(base + max(0, 1 - lo))
+    elif len(terms) == 1:
+        ((name, coeff),) = terms.items()
+        if abs(coeff) != 1:
+            base = AffineExpr({name: 1 if coeff > 0 else -1})
+        else:
+            base = AffineExpr({name: coeff})
+        lo, _ = affine_interval(base, ranges)
+        candidates.append(base + max(0, 1 - lo))
+    elif sub.constant > 1:
+        candidates.append(const(1))
+    for cand in candidates:
+        if cand != sub:
+            yield cand
+
+
+PASSES: tuple[Callable[[Program], Iterator[Program]], ...] = (
+    _drop_nests,
+    _drop_statements,
+    _drop_reads,
+    _flatten_triangular,
+    _halve_trips,
+    _simplify_subscripts,
+)
+
+
+def shrink_program(
+    program: Program,
+    still_diverges: Callable[[Program], bool],
+    max_rounds: int = MAX_ROUNDS,
+) -> Program:
+    """Minimize ``program`` while ``still_diverges`` keeps returning True.
+
+    ``still_diverges`` must be True for the input program, otherwise there
+    is nothing to preserve and :class:`ReproError` is raised.  Returns the
+    fixpoint of the greedy pass sequence (or the best program found when
+    the round cap trips first); the result always validates.
+    """
+    current = tighten_arrays(program)
+    if not still_diverges(current):
+        if not still_diverges(program):
+            raise ReproError(
+                "shrink_program: the input program does not satisfy the "
+                "divergence predicate"
+            )
+        current = program  # tightening alone killed it; shrink the original
+
+    for _ in range(max_rounds):
+        improved = False
+        for reduce in PASSES:
+            accepted = True
+            while accepted:
+                accepted = False
+                for candidate in reduce(current):
+                    candidate = tighten_arrays(candidate)
+                    if not _is_valid(candidate):
+                        continue
+                    try:
+                        if still_diverges(candidate):
+                            current = candidate
+                            improved = accepted = True
+                            break
+                    except Exception:
+                        continue  # a crashing candidate is not a shrink
+        if not improved:
+            break
+    return current

@@ -1,0 +1,88 @@
+"""Tests for the ext_fuzz experiment and its CLI plumbing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec.executor import SweepExecutor
+from repro.experiments import ext_fuzz
+from repro.experiments.__main__ import main
+from repro.fuzz.harness import FUZZ_HIERARCHIES, QUICK_HIERARCHY_NAMES
+
+
+def run_small(**kw):
+    kw.setdefault("count", 3)
+    kw.setdefault("budget", 400)
+    kw.setdefault("executor", SweepExecutor(workers=1))
+    return ext_fuzz.run(**kw)
+
+
+class TestRun:
+    def test_small_campaign_shape(self, tmp_path):
+        result = run_small(seed=0, corpus_dir=tmp_path)
+        rep = result.report
+        assert rep.programs == 3
+        assert len(rep.cases) == 3 * len(FUZZ_HIERARCHIES)
+        assert rep.total_refs > 0
+        assert result.corpus_cases == 0
+
+    def test_quick_trims_hierarchies_and_count(self, tmp_path):
+        result = ext_fuzz.run(
+            quick=True, count=2, budget=300, corpus_dir=tmp_path,
+            executor=SweepExecutor(workers=1),
+        )
+        assert result.report.hierarchy_names == QUICK_HIERARCHY_NAMES
+
+    def test_budget_caps_program_refs(self, tmp_path):
+        result = run_small(seed=0, budget=200, corpus_dir=tmp_path)
+        # 3 hierarchies share each program; per-case refs obey the cap.
+        assert all(c.refs <= 200 for c in result.report.cases)
+
+    def test_default_corpus_marks_known_divergences(self):
+        """Seed 9 is a committed corpus case: rerunning it against the
+        shipped corpus must report zero unminimized divergences."""
+        result = run_small(seed=9, count=1)
+        assert result.corpus_cases > 0
+        assert result.report.unminimized == 0
+
+    def test_rejects_bad_budget(self, tmp_path):
+        with pytest.raises(ReproError):
+            run_small(budget=0, corpus_dir=tmp_path)
+
+    def test_format_carries_repro_line_per_divergence(self, tmp_path):
+        """Satellite of the harness contract: any failing case surfaces
+        its own seed as a paste-ready repro command."""
+        result = run_small(seed=9, count=1, budget=4000, corpus_dir=tmp_path)
+        text = result.format()
+        assert result.smoke_line() in text
+        for case in result.report.divergent_cases():
+            assert f"--seed {case.seed} --count 1" in text
+
+    def test_smoke_line_fields(self, tmp_path):
+        line = run_small(seed=0, corpus_dir=tmp_path).smoke_line()
+        assert line.startswith("[fuzz] smoke seed=0 programs=3 ")
+        for field in ("trace_div=", "sim_div=", "errors=", "model_blind=",
+                      "unminimized="):
+            assert field in line
+
+
+class TestCLI:
+    def test_ext_fuzz_verb(self, capsys, tmp_path):
+        rc = main([
+            "ext_fuzz", "--seed", "9", "--count", "1", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[fuzz] smoke seed=9 programs=1" in out
+        assert "--seed 9 --count 1" in out  # repro line for the known case
+
+    def test_out_writes_report(self, capsys, tmp_path):
+        rc = main([
+            "ext_fuzz", "--seed", "0", "--count", "2", "--budget", "300",
+            "--no-cache", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "ext_fuzz.txt").exists()
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(SystemExit):
+            main(["ext_fuzz", "--count", "0"])

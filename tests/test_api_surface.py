@@ -145,6 +145,42 @@ class TestObsExports:
         assert NULL_TRACER.enabled is False
 
 
+class TestFuzzExports:
+    """The fuzzing entry points are re-exported from the package root."""
+
+    FUZZ_NAMES = [
+        "FuzzConfig",
+        "random_program",
+        "run_campaign",
+        "shrink_program",
+    ]
+
+    def test_names_in_package_all(self):
+        import repro
+
+        for name in self.FUZZ_NAMES:
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_root_exports_match_subpackage(self):
+        import repro
+        import repro.fuzz
+
+        for name in self.FUZZ_NAMES:
+            assert getattr(repro, name) is getattr(repro.fuzz, name)
+
+    def test_subpackage_surface(self):
+        import repro.fuzz
+
+        for name in (
+            "program_stream", "diff_case", "oracle_simulate",
+            "CorpusCase", "save_case", "load_corpus", "corpus_known_seeds",
+            "FUZZ_HIERARCHIES", "MODEL_BANDS", "repro_command",
+        ):
+            assert name in repro.fuzz.__all__
+            assert getattr(repro.fuzz, name) is not None
+
+
 class TestCacheSimulatorExports:
     """Both k-way simulators (oracle and vectorized) are package API."""
 
