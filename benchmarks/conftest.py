@@ -1,10 +1,12 @@
-"""Benchmark-suite hooks: record timings to BENCH_search.json / BENCH_assoc.json.
+"""Benchmark-suite hooks: record timings to the BENCH_*.json artifacts.
 
 Runs after any ``pytest benchmarks`` session.  Recording is best-effort:
 a missing pytest-benchmark session (e.g. ``--benchmark-disable``) or an
 unwritable path must never fail the suite.  Rows are routed by benchmark
 group: the ``assoc`` group (k-way simulator throughput) lands in
-``BENCH_assoc.json``, everything else in ``BENCH_search.json``.
+``BENCH_assoc.json``, the ``symbolic`` group (symbolic-tier classify and
+speedup) in ``BENCH_symbolic.json``, everything else in
+``BENCH_search.json``.
 """
 
 from __future__ import annotations

@@ -9,9 +9,11 @@ across commits by diffing one small JSON file.
 
 Benchmarks in the ``assoc`` group (the k-way simulator throughput suite,
 ``test_bench_assoc.py``) are routed to a separate ``BENCH_assoc.json``
-(``$REPRO_BENCH_ASSOC_JSON``), so simulator-throughput history and
-search-subsystem history stay independently diffable; both files are
-uploaded as CI artifacts per run.
+(``$REPRO_BENCH_ASSOC_JSON``), and benchmarks in the ``symbolic`` group
+(the symbolic-tier classify/analyze suite, ``test_bench_symbolic.py``)
+to ``BENCH_symbolic.json`` (``$REPRO_BENCH_SYMBOLIC_JSON``), so
+simulator-throughput, symbolic-tier, and search-subsystem history stay
+independently diffable; all files are uploaded as CI artifacts per run.
 
 The file holds a list of session records, newest last::
 
@@ -47,12 +49,18 @@ from typing import Any
 
 ENV_BENCH_JSON = "REPRO_BENCH_JSON"
 ENV_BENCH_ASSOC_JSON = "REPRO_BENCH_ASSOC_JSON"
+ENV_BENCH_SYMBOLIC_JSON = "REPRO_BENCH_SYMBOLIC_JSON"
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_PATH = _ROOT / "BENCH_search.json"
 DEFAULT_ASSOC_PATH = _ROOT / "BENCH_assoc.json"
+DEFAULT_SYMBOLIC_PATH = _ROOT / "BENCH_symbolic.json"
 
 #: Benchmark groups routed to ``BENCH_assoc.json`` instead of the default.
 ASSOC_GROUPS = {"assoc"}
+
+#: Benchmark groups routed to ``BENCH_symbolic.json`` (the symbolic-tier
+#: classify/analyze throughput and tier-speedup artifact).
+SYMBOLIC_GROUPS = {"symbolic"}
 
 #: Values of $REPRO_BENCH_JSON that turn recording off entirely.
 _DISABLED = {"0", "off", "none", ""}
@@ -108,6 +116,22 @@ def assoc_output_path() -> pathlib.Path | None:
     if output_path() is None:
         return None
     return DEFAULT_ASSOC_PATH
+
+
+def symbolic_output_path() -> pathlib.Path | None:
+    """Where ``symbolic``-group rows go, or ``None`` when disabled.
+
+    Mirrors :func:`assoc_output_path`: ``$REPRO_BENCH_SYMBOLIC_JSON``
+    overrides the path, ``$REPRO_BENCH_JSON=off`` disables both.
+    """
+    env = os.environ.get(ENV_BENCH_SYMBOLIC_JSON)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return pathlib.Path(env)
+    if output_path() is None:
+        return None
+    return DEFAULT_SYMBOLIC_PATH
 
 
 def summarize(benchmarks) -> list[dict[str, Any]]:
@@ -175,13 +199,20 @@ def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
     """Split ``rows`` by group and append each bucket to its artifact.
 
     Rows whose ``group`` is in :data:`ASSOC_GROUPS` go to
-    :func:`assoc_output_path`, the rest to :func:`output_path`.  Returns
-    the paths actually written.
+    :func:`assoc_output_path`, :data:`SYMBOLIC_GROUPS` rows to
+    :func:`symbolic_output_path`, the rest to :func:`output_path`.
+    Returns the paths actually written.
     """
     assoc = [r for r in rows if r.get("group") in ASSOC_GROUPS]
-    rest = [r for r in rows if r.get("group") not in ASSOC_GROUPS]
+    symbolic = [r for r in rows if r.get("group") in SYMBOLIC_GROUPS]
+    routed = ASSOC_GROUPS | SYMBOLIC_GROUPS
+    rest = [r for r in rows if r.get("group") not in routed]
     written = []
-    for bucket, path in ((rest, output_path()), (assoc, assoc_output_path())):
+    for bucket, path in (
+        (rest, output_path()),
+        (assoc, assoc_output_path()),
+        (symbolic, symbolic_output_path()),
+    ):
         if bucket and path is not None:
             out = append_session(bucket, path)
             if out is not None:

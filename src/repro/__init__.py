@@ -26,6 +26,10 @@ The package implements, from scratch, every system the paper relies on:
 * :mod:`repro.fuzz` -- seeded random-program generation, a differential
   predictor-vs-simulator-vs-oracle harness, divergence shrinking, and a
   distilled regression corpus;
+* :mod:`repro.symbolic` -- trace-free closed-form miss counting, exact
+  (bit-for-bit vs. the simulator) in the provable no-eviction regime
+  and honestly downgraded elsewhere, behind the executor's tiered
+  backend selector;
 * :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -78,9 +82,10 @@ from repro.driver import (
     optimize,
     optimize_searched,
 )
-from repro.exec import ResultStore, SimJob, SweepExecutor
+from repro.exec import BACKENDS, ResultStore, SimJob, SweepExecutor
 from repro.fuzz import (
     FuzzConfig,
+    fuzzed_workloads,
     random_program,
     run_campaign,
     shrink_program,
@@ -91,6 +96,7 @@ from repro.model import (
     predict_program,
     spearman,
 )
+from repro.symbolic import SymbolicStats, analyze_job, classify_job
 from repro.obs import (
     MetricsRegistry,
     Tracer,
@@ -161,6 +167,7 @@ __all__ = [
     "SimJob",
     "SweepExecutor",
     "ResultStore",
+    "BACKENDS",
     # empirical autotuning
     "SearchSpace",
     "pad_space",
@@ -177,6 +184,7 @@ __all__ = [
     # differential fuzzing
     "FuzzConfig",
     "random_program",
+    "fuzzed_workloads",
     "run_campaign",
     "shrink_program",
     # analytic miss prediction
@@ -185,6 +193,10 @@ __all__ = [
     "predict_job",
     "model_objective",
     "spearman",
+    # symbolic (trace-free exact) miss counting
+    "SymbolicStats",
+    "classify_job",
+    "analyze_job",
     # observability
     "Tracer",
     "MetricsRegistry",

@@ -8,7 +8,10 @@ The subsystem has three layers:
   content-addressed cache of :class:`~repro.cache.stats.SimulationResult`;
 * :mod:`repro.exec.executor` -- :class:`SweepExecutor`, fanning
   independent :class:`SimJob` simulations across worker processes with
-  deterministic ordering and graceful serial fallback.
+  deterministic ordering and graceful serial fallback;
+* :mod:`repro.exec.backends` -- the tier catalogue (``auto``,
+  ``symbolic``, ``model``, ``sim``, ``oracle``) the executor selects
+  from, each keyed separately in the store.
 
 Typical sweep::
 
@@ -23,6 +26,7 @@ See ``docs/parallel_execution.md`` for the design and the cache-key
 contract.
 """
 
+from repro.exec.backends import BACKENDS, run_oracle, validate_backend
 from repro.exec.executor import (
     ExecStats,
     JobRecord,
@@ -37,6 +41,7 @@ from repro.exec.jobs import SimJob
 from repro.exec.store import ResultStore, open_default_store
 
 __all__ = [
+    "BACKENDS",
     "SCHEMA_VERSION",
     "ExecStats",
     "JobRecord",
@@ -49,5 +54,7 @@ __all__ = [
     "open_default_store",
     "program_fingerprint",
     "run_jobs",
+    "run_oracle",
     "set_default_store",
+    "validate_backend",
 ]

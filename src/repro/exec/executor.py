@@ -6,6 +6,13 @@ a list with
 
 * **memoization** -- each job's content key is checked against a
   :class:`~repro.exec.store.ResultStore` before any work happens;
+* **tiered backends** -- ``backend="auto"`` serves each job from the
+  cheapest authoritative tier: the symbolic closed form where it is
+  provably exact (:mod:`repro.symbolic`), the vectorized simulator
+  everywhere else.  ``"symbolic"``, ``"model"``, ``"sim"``, and
+  ``"oracle"`` force a tier (see :mod:`repro.exec.backends`); every
+  tier's results are keyed with its backend name so they never alias in
+  the store;
 * **parallelism** -- remaining jobs fan out across worker processes via
   :class:`concurrent.futures.ProcessPoolExecutor` (``pool.map`` with the
   job order preserved, so results are deterministic and byte-identical to
@@ -31,7 +38,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.cache.stats import SimulationResult
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationError
+from repro.exec.backends import _timed_run_oracle, validate_backend
 from repro.exec.jobs import SimJob
 from repro.exec.store import ResultStore, open_default_store
 from repro.obs.metrics import format_exec_line, get_metrics
@@ -57,7 +65,7 @@ class JobRecord:
     index: int
     key: str
     seconds: float
-    source: str  # "cache" | "serial" | "pool"
+    source: str  # "cache" | "serial" | "pool" | "symbolic" | "model"
     tag: tuple = ()
 
 
@@ -84,6 +92,21 @@ class ExecStats:
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def symbolic_jobs(self) -> int:
+        """Jobs the symbolic tier served (exact or forced-approximate)."""
+        return sum(1 for r in self.records if r.source == "symbolic")
+
+    @property
+    def model_jobs(self) -> int:
+        """Jobs the analytic-predictor tier served."""
+        return sum(1 for r in self.records if r.source == "model")
+
+    @property
+    def simulated_jobs(self) -> int:
+        """Jobs that actually ran a simulator (serial or pool)."""
+        return sum(1 for r in self.records if r.source in ("serial", "pool"))
 
     @property
     def sim_seconds(self) -> float:
@@ -119,6 +142,7 @@ class ExecStats:
             workers=self.workers,
             sim_seconds=self.sim_seconds,
             wall_seconds=self.wall_seconds,
+            symbolic=self.symbolic_jobs,
         )
 
 
@@ -146,24 +170,44 @@ class SweepExecutor:
         worker (or one pending job) everything runs in-process.
     store:
         A :class:`ResultStore` for memoization, or None to disable.
+    backend:
+        Default tier for :meth:`run` (see :mod:`repro.exec.backends`):
+        ``"sim"`` (the default, byte-identical to the pre-tier executor),
+        ``"auto"`` (symbolic where provably exact, sim elsewhere),
+        ``"symbolic"``, ``"model"``, or ``"oracle"``.
+    validate:
+        With True, every exact symbolic result is cross-checked against a
+        real simulation of the same job; a divergence raises
+        :class:`~repro.errors.SimulationError`.  A correctness harness
+        switch -- it forfeits the symbolic tier's speed.
     """
 
-    def __init__(self, workers: int | None = None, store: ResultStore | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        store: ResultStore | None = None,
+        backend: str = "sim",
+        validate: bool = False,
+    ):
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.store = store
+        self.backend = validate_backend(backend)
+        self.validate = validate
         self.stats = ExecStats(workers=self.workers)
         self.history: list[ExecStats] = []
         self.predictions = 0
         self.predict_seconds = 0.0
 
     # -- internals ---------------------------------------------------------
-    def _run_pool(self, jobs: list[SimJob], nworkers: int) -> list | None:
+    def _run_pool(
+        self, jobs: list[SimJob], nworkers: int, runner=_timed_run
+    ) -> list | None:
         """Map jobs over a process pool; None when the pool cannot be used."""
         try:
             with ProcessPoolExecutor(max_workers=nworkers) as pool:
-                return list(pool.map(_timed_run, jobs, chunksize=1))
+                return list(pool.map(runner, jobs, chunksize=1))
         except (
             OSError,
             ValueError,
@@ -175,19 +219,98 @@ class SweepExecutor:
         ):
             return None
 
+    def _run_model(self, i, job, stats, results, tracer) -> None:
+        """Serve one job from the analytic-predictor tier (never stored)."""
+        from repro.model import predict_job  # lazy: model imports analysis/layout
+
+        t0 = time.perf_counter()
+        results[i] = predict_job(job).result
+        stats.records.append(
+            JobRecord(i, job.key("model"), time.perf_counter() - t0, "model", job.tag)
+        )
+
+    def _try_symbolic(self, i, job, mode, stats, results, tracer) -> bool:
+        """Serve one job from the symbolic tier if the mode allows it.
+
+        ``mode="symbolic"`` (forced) serves every job, approximate terms
+        included; ``mode="auto"`` serves only jobs classified exact at
+        every level and reports False otherwise so the caller falls back
+        to the simulator.  Exact results are memoized under the job's
+        symbolic key; approximate ones never touch the store.
+        """
+        from repro.symbolic import analyze_job, classify_job  # lazy: import cycle
+
+        key = job.key("symbolic")
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                results[i] = cached
+                stats.records.append(JobRecord(i, key, 0.0, "cache", job.tag))
+                if tracer.enabled:
+                    tracer.event("exec.store_hit", cat="exec",
+                                 key=key[:12], index=i, backend="symbolic")
+                return True
+        start_ns = time.time_ns()
+        t0 = time.perf_counter()
+        classification = classify_job(job)
+        exact = all(c.exact for c in classification)
+        if mode == "auto" and not exact:
+            return False
+        symbolic = analyze_job(job, classification=classification)
+        seconds = time.perf_counter() - t0
+        result = symbolic.result
+        if exact:
+            if self.validate:
+                reference = job.run()
+                if reference.total_refs != result.total_refs or any(
+                    a.accesses != b.accesses or a.misses != b.misses
+                    for a, b in zip(reference.levels, result.levels)
+                ):
+                    raise SimulationError(
+                        f"symbolic/simulator divergence on job {key[:12]}: "
+                        f"simulator {reference.summary()!r} vs "
+                        f"symbolic {result.summary()!r}"
+                    )
+            if self.store is not None:
+                self.store.put(key, result)
+        results[i] = result
+        stats.records.append(JobRecord(i, key, seconds, "symbolic", job.tag))
+        if tracer.enabled:
+            tracer.add_span(
+                "exec.job",
+                start_ns=start_ns,
+                dur_ns=int(seconds * 1e9),
+                cat="exec",
+                key=key[:12],
+                source="symbolic",
+                index=i,
+                backend="symbolic",
+                exact=exact,
+                refs=result.total_refs,
+            )
+        return True
+
     # -- API ---------------------------------------------------------------
-    def run(self, jobs) -> list[SimulationResult]:
+    def run(self, jobs, backend: str | None = None) -> list[SimulationResult]:
         """Execute all jobs; results come back in job order.
 
-        Parallel and serial paths produce bit-identical results: the
-        simulation is deterministic and ``pool.map`` preserves ordering.
+        ``backend`` overrides the executor's default tier for this call
+        (see :mod:`repro.exec.backends`).  Parallel and serial simulation
+        paths produce bit-identical results: the simulation is
+        deterministic and ``pool.map`` preserves ordering; the symbolic
+        tier serves only results it can prove bit-identical (unless
+        forced with ``backend="symbolic"``).
 
         When a tracer is active the whole call is one ``exec.sweep`` span
         with an ``exec.job`` child per executed job (worker pid + queue
-        wait attached) and a store hit/miss event per memoized lookup;
-        either way the run's totals land in the metrics registry.
+        wait attached, backend-tagged) and a store hit/miss event per
+        memoized lookup; either way the run's totals land in the metrics
+        registry.
         """
         jobs = list(jobs)
+        chosen = validate_backend(backend if backend is not None else self.backend)
+        sim_backend = "oracle" if chosen == "oracle" else "sim"
+        runner = _timed_run_oracle if chosen == "oracle" else _timed_run
         tracer = get_tracer()
         t0 = time.perf_counter()
         stats = ExecStats(workers=self.workers)
@@ -196,14 +319,22 @@ class SweepExecutor:
         fresh_results: list[SimulationResult] = []
 
         with tracer.span(
-            "exec.sweep", cat="exec", jobs=len(jobs), workers=self.workers
+            "exec.sweep", cat="exec", jobs=len(jobs), workers=self.workers,
+            backend=chosen,
         ) as sweep:
             for i, job in enumerate(jobs):
                 if not isinstance(job, SimJob):
                     raise ReproError(
                         f"SweepExecutor.run expects SimJobs, got {type(job)!r}"
                     )
-                key = job.key()
+                if chosen == "model":
+                    self._run_model(i, job, stats, results, tracer)
+                    continue
+                if chosen in ("symbolic", "auto") and self._try_symbolic(
+                    i, job, chosen, stats, results, tracer
+                ):
+                    continue
+                key = job.key(sim_backend)
                 cached = self.store.get(key) if self.store is not None else None
                 if cached is not None:
                     results[i] = cached
@@ -229,10 +360,12 @@ class SweepExecutor:
                 source = "pool"
                 dispatch_ns = time.time_ns()
                 if nworkers > 1:
-                    outs = self._run_pool([job for _, job in ordered], nworkers)
+                    outs = self._run_pool(
+                        [job for _, job in ordered], nworkers, runner
+                    )
                 if outs is None:
                     source = "serial"
-                    outs = [_timed_run(job) for _, job in ordered]
+                    outs = [runner(job) for _, job in ordered]
                 computed = {key: out for (key, _), out in zip(unique.items(), outs)}
                 for i, key, job in pending:
                     result, seconds, start_ns, worker_pid = computed[key]
@@ -273,7 +406,8 @@ class SweepExecutor:
             if tracer.enabled:
                 sweep.set(
                     store_hits=stats.cache_hits,
-                    simulated=stats.cache_misses,
+                    simulated=stats.simulated_jobs,
+                    symbolic=stats.symbolic_jobs,
                     sim_seconds=round(stats.sim_seconds, 6),
                 )
 
@@ -296,16 +430,20 @@ class SweepExecutor:
         m.gauge("exec.workers").set(self.workers)
         m.counter("exec.jobs").inc(stats.jobs)
         m.counter("exec.store_hits").inc(stats.cache_hits)
-        m.counter("exec.simulated").inc(stats.cache_misses)
+        m.counter("exec.simulated").inc(stats.simulated_jobs)
         m.counter("exec.pool_jobs").inc(
             sum(1 for r in stats.records if r.source == "pool")
         )
+        if stats.symbolic_jobs:
+            m.counter("exec.symbolic_jobs").inc(stats.symbolic_jobs)
+        if stats.model_jobs:
+            m.counter("exec.model_jobs").inc(stats.model_jobs)
         m.counter("exec.sim_seconds").inc(stats.sim_seconds)
         m.counter("exec.wall_seconds").inc(stats.wall_seconds)
-        if stats.cache_misses:
+        if stats.simulated_jobs:
             job_hist = m.histogram("exec.job_seconds")
             for r in stats.records:
-                if r.source != "cache":
+                if r.source in ("serial", "pool"):
                     job_hist.observe(r.seconds)
         for result in fresh_results:
             m.counter("sim.refs").inc(result.total_refs)
@@ -313,19 +451,25 @@ class SweepExecutor:
                 m.counter(f"cache.{lv.name}.accesses").inc(lv.accesses)
                 m.counter(f"cache.{lv.name}.misses").inc(lv.misses)
 
-    def predict(self, jobs) -> list[SimulationResult]:
+    def predict(self, jobs, prefer_exact: bool = False) -> list[SimulationResult]:
         """Analytically score jobs without simulating (or caching) them.
 
         The batch-scoring counterpart of :meth:`run` for the closed-form
         predictor (:mod:`repro.model`): same job-list-in, result-list-out
         shape, but each entry is a :class:`~repro.cache.stats.SimulationResult`
         *mirror* derived from :func:`~repro.model.predict_job` -- an
-        estimate for ranking, never a measurement.  Predictions are not
-        written to the result store (they must never shadow real
-        simulations under the same content key); :attr:`predictions` and
-        :attr:`predict_seconds` accumulate across calls for reporting.
+        estimate for ranking, never a measurement.  With ``prefer_exact``
+        each job is first classified by the symbolic tier and its exact
+        counts used when authoritative (still trace-free, still never
+        stored).  Predictions are not written to the result store (they
+        must never shadow real simulations under the same content key);
+        :attr:`predictions` and :attr:`predict_seconds` accumulate across
+        calls for reporting.
         """
         from repro.model import predict_job  # lazy: model imports analysis/layout
+
+        if prefer_exact:
+            from repro.symbolic import analyze_job, classify_job
 
         jobs = list(jobs)
         t0 = time.perf_counter()
@@ -336,6 +480,13 @@ class SweepExecutor:
                     raise ReproError(
                         f"SweepExecutor.predict expects SimJobs, got {type(job)!r}"
                     )
+                if prefer_exact:
+                    classification = classify_job(job)
+                    if all(c.exact for c in classification):
+                        out.append(
+                            analyze_job(job, classification=classification).result
+                        )
+                        continue
                 out.append(predict_job(job).result)
         elapsed = time.perf_counter() - t0
         self.predictions += len(jobs)
@@ -363,9 +514,10 @@ def run_jobs(
     jobs,
     workers: int | None = None,
     store: ResultStore | None = None,
+    backend: str = "sim",
 ) -> tuple[list[SimulationResult], ExecStats]:
     """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    ex = SweepExecutor(workers=workers, store=store)
+    ex = SweepExecutor(workers=workers, store=store, backend=backend)
     results = ex.run(jobs)
     return results, ex.stats
 

@@ -3,10 +3,13 @@
 A simulation's miss counters are fully determined by (a) the program IR
 (arrays + loop nests), (b) the data layout (variable order, pads, sizes,
 origin -- i.e. every base address), (c) the cache geometry of every
-hierarchy level, and (d) how the trace is produced (whole program, one
-nest, or a kernel's custom trace hook).  :func:`job_key` hashes exactly
-that set and nothing else, so the on-disk result store can safely reuse
-results across processes, sessions, and cosmetic refactors.
+hierarchy level, (d) how the trace is produced (whole program, one
+nest, or a kernel's custom trace hook), and (e) which *backend* produced
+the counters (vectorized simulator, sequential oracle, or the symbolic
+tier).  :func:`job_key` hashes exactly that set and nothing else, so the
+on-disk result store can safely reuse results across processes,
+sessions, and cosmetic refactors -- and results from different backends
+can never alias under one key.
 
 Deliberately **excluded** from the key:
 
@@ -44,7 +47,10 @@ __all__ = [
     "program_fingerprint",
 ]
 
-SCHEMA_VERSION = 1
+# v2: a backend component joined the key when the executor grew tiered
+# backends -- a symbolic (or oracle) result must never be served for a
+# simulator request, and vice versa.
+SCHEMA_VERSION = 2
 
 
 def _affine(e: AffineExpr) -> list:
@@ -132,17 +138,21 @@ def job_key(
     layout: DataLayout,
     hierarchy: HierarchyConfig,
     trace: tuple = ("program",),
+    backend: str = "sim",
 ) -> str:
     """The result-store key of one simulation job.
 
     ``trace`` names how the address trace is produced: ``("program",)``
     for the default whole-program generator, ``("nest", i)`` for a single
     cold-cache nest, or ``("kernel", name)`` for a registry kernel with a
-    custom trace hook.
+    custom trace hook.  ``backend`` names the tier that produced the
+    counters (``"sim"``, ``"oracle"``, ``"symbolic"``); it partitions the
+    store so tiers never serve each other's results.
     """
     return digest(
         [
             SCHEMA_VERSION,
+            ["backend", backend],
             canonical(program),
             canonical(layout),
             canonical(hierarchy),

@@ -95,9 +95,16 @@ class SimJob:
             return ("nest", self.nest_index)
         return ("program",)
 
-    def key(self) -> str:
-        """Stable content hash identifying this job's result."""
-        return job_key(self.program, self.layout, self.hierarchy, self.trace_spec())
+    def key(self, backend: str = "sim") -> str:
+        """Stable content hash identifying this job's result.
+
+        ``backend`` names the tier whose result the key addresses; tiers
+        get disjoint keys so an analytic or symbolic result can never be
+        served for a simulator request (or vice versa).
+        """
+        return job_key(
+            self.program, self.layout, self.hierarchy, self.trace_spec(), backend
+        )
 
     def chunks(self) -> Iterator:
         """The job's address-trace chunks."""

@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments ext_model --quick          # predictor vs simulator
     python -m repro.experiments ext_fuzz --quick           # differential fuzzing
     python -m repro.experiments ext_fuzz --seed 9 --count 1      # one fuzz case
+    python -m repro.experiments ext_symbolic --quick       # symbolic vs simulator
+    python -m repro.experiments fig9 --backend sim         # force pure simulation
     python -m repro.experiments assoc_claim --quick        # Section 1 claim check
     python -m repro.experiments all --quick --out results/
 
@@ -46,6 +48,7 @@ from repro.experiments import (
     ext_fuzz,
     ext_model,
     ext_search,
+    ext_symbolic,
     ext_three_level,
     ext_timetile,
     ext_tlb,
@@ -76,6 +79,7 @@ EXPERIMENTS = {
     "ext_assoc": ext_assoc,
     "ext_model": ext_model,
     "ext_fuzz": ext_fuzz,
+    "ext_symbolic": ext_symbolic,
 }
 
 # Old verb -> replacement.  Aliases still run (scripts keep working) but
@@ -136,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the on-disk result store",
     )
     parser.add_argument(
+        "--backend", choices=["auto", "symbolic", "model", "sim", "oracle"],
+        default="auto",
+        help="executor tier: 'auto' (default) serves jobs from the "
+             "symbolic closed form where it is provably exact and the "
+             "simulator elsewhere; 'sim' forces pure simulation "
+             "(pre-tier behavior); 'symbolic'/'model'/'oracle' force "
+             "those tiers",
+    )
+    parser.add_argument(
         "--budget", type=int, default=None, metavar="B",
         help="evaluation budget for search experiments (per kernel), "
              "or per-program reference cap for ext_fuzz",
@@ -180,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
     store = None
     if not args.no_cache:
         store = ResultStore(args.cache_dir or default_cache_dir())
-    executor = SweepExecutor(workers=args.workers, store=store)
+    executor = SweepExecutor(workers=args.workers, store=store,
+                             backend=args.backend)
 
     for name in experiment_names(args.experiment):
         if name in DEPRECATED_ALIASES:
@@ -223,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=executor.workers,
                 sim_seconds=d.get("exec.sim_seconds", 0.0),
                 wall_seconds=d.get("exec.wall_seconds", 0.0),
+                symbolic=int(d.get("exec.symbolic_jobs", 0)),
             ))
         print(report)
         print()

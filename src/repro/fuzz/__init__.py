@@ -18,7 +18,12 @@ from repro.fuzz.corpus import (
     load_corpus,
     save_case,
 )
-from repro.fuzz.generator import FuzzConfig, program_stream, random_program
+from repro.fuzz.generator import (
+    FuzzConfig,
+    fuzzed_workloads,
+    program_stream,
+    random_program,
+)
 from repro.fuzz.harness import (
     FUZZ_HIERARCHIES,
     MODEL_BANDS,
@@ -36,6 +41,7 @@ __all__ = [
     "FuzzConfig",
     "random_program",
     "program_stream",
+    "fuzzed_workloads",
     "MODEL_BANDS",
     "FUZZ_HIERARCHIES",
     "Divergence",

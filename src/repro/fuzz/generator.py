@@ -303,3 +303,21 @@ def program_stream(seed: int, count: int, config: FuzzConfig | None = None):
         raise ReproError(f"count must be >= 1, got {count}")
     for i in range(count):
         yield seed + i, random_program(seed + i, config)
+
+
+def fuzzed_workloads(seed: int, count: int, config: FuzzConfig | None = None):
+    """``(case_seed, program, layout)`` triples for downstream consumers.
+
+    The fuzzed population as ready-to-run workloads: each program paired
+    with its sequential layout, reproducible from ``seed`` alone.  This
+    is the sampling surface the symbolic cross-validation suite, the
+    ``BENCH_symbolic.json`` benchmarks, and search smoke tests draw from
+    -- one definition, so "program ``i`` of seed ``s``" means the same
+    workload everywhere.
+    """
+    from repro.layout.layout import DataLayout  # lazy: layout imports ir only
+
+    return [
+        (case_seed, program, DataLayout.sequential(program))
+        for case_seed, program in program_stream(seed, count, config)
+    ]

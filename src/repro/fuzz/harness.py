@@ -371,7 +371,11 @@ def run_campaign(
             for case_seed, program in cases
             for name, hier in hierarchies.items()
         ]
-        vec_results = executor.run(jobs)
+        # Force the simulator tier regardless of the executor's default
+        # backend: the campaign's whole point is differential testing of
+        # the *vectorized simulator* against the oracles, and a symbolic
+        # tier serving these jobs would test it against itself.
+        vec_results = executor.run(jobs, backend="sim")
 
         i = 0
         for case_seed, program in cases:

@@ -87,6 +87,19 @@ class Loop:
         """Evaluate ``max(lower, *extra_lowers)`` at concrete outer indices."""
         return max(int(l.evaluate(env)) for l in self.lowers)
 
+    def concrete_trip(self, env) -> tuple[int, int]:
+        """``(first value, trip count)`` at concrete outer indices.
+
+        The loop's value set is the arithmetic progression
+        ``first + step*j`` for ``j in range(count)`` -- exactly the
+        values the trace generator walks, so footprint enumeration and
+        trace generation cannot disagree on which indices execute.
+        """
+        lo = self.effective_lower(env)
+        hi = self.effective_upper(env)
+        count = (hi - lo) // self.step + 1 if (hi - lo) * self.step >= 0 else 0
+        return lo, max(0, count)
+
     def trip_count(self) -> int:
         """Iteration count for constant bounds (raises otherwise)."""
         if not self.is_rectangular:
@@ -231,6 +244,23 @@ class LoopNest:
     @property
     def is_rectangular(self) -> bool:
         return all(lp.is_rectangular for lp in self.loops)
+
+    def concrete_from(self, level: int) -> bool:
+        """True when the sub-nest from ``level`` inward is rectangular once
+        outer indices are fixed.
+
+        Holds when no bound from ``level`` inward references a loop
+        variable at or inside ``level`` -- the condition both the trace
+        generator and the symbolic footprint enumeration need before they
+        may treat the remaining loops as an independent product space.
+        """
+        inner_vars = {lp.var for lp in self.loops[level:]}
+        return not any(
+            v in inner_vars
+            for lp in self.loops[level:]
+            for bound in lp.all_bounds
+            for v in bound.variables
+        )
 
     def iterations(self) -> int:
         """Total iteration count.

@@ -1,0 +1,167 @@
+"""Result containers for the symbolic miss-counting tier.
+
+A symbolic analysis decomposes each cache level's miss count into named
+*terms*.  Each term carries an explicit ``exact`` flag: ``True`` means the
+count is provably bit-for-bit what the reference LRU simulator would
+report; ``False`` means the term came from the analytic predictor
+(:mod:`repro.model.predictor`) and is an estimate.  A level (and a whole
+result) is exact only when every one of its terms is -- the backend
+selector in :mod:`repro.exec` serves symbolic results authoritatively
+only in that case.
+
+``SymbolicStats`` converts losslessly into the executor's
+:class:`~repro.model.predictor.PredictedStats` shape (and from there into
+a :class:`~repro.cache.stats.SimulationResult`), so a symbolic result
+drops into every existing report, objective, and cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import AnalysisError
+from repro.model.predictor import LevelPrediction, PredictedStats
+
+__all__ = ["TERM_KINDS", "SymbolicTerm", "SymbolicLevel", "SymbolicStats"]
+
+#: Allowed values of :attr:`SymbolicTerm.kind`.
+#:
+#: ``cold``
+#:     First-touch misses -- distinct lines entering the level.  The only
+#:     kind that can be exact: in the no-eviction regime *every* miss is a
+#:     cold miss, so one exact cold term is the whole story.
+#: ``sweep``
+#:     Capacity/self-interference re-fault estimate from the analytic
+#:     predictor (always approximate).
+#: ``conflict``
+#:     Set-mapping interference estimate via the ``S/k`` mapping-period
+#:     machinery of :mod:`repro.model.conflicts` (always approximate).
+TERM_KINDS = ("cold", "sweep", "conflict")
+
+
+@dataclass(frozen=True)
+class SymbolicTerm:
+    """One named component of a level's miss count."""
+
+    kind: str
+    misses: float
+    exact: bool
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in TERM_KINDS:
+            raise AnalysisError(
+                f"unknown symbolic term kind {self.kind!r}; expected one of {TERM_KINDS}"
+            )
+        if self.misses < 0:
+            raise AnalysisError(f"{self.kind} term: misses must be non-negative")
+        if self.exact and self.misses != int(self.misses):
+            raise AnalysisError(
+                f"{self.kind} term: an exact miss count must be an integer, "
+                f"got {self.misses}"
+            )
+
+    def __repr__(self) -> str:
+        tag = "exact" if self.exact else "approx"
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"<{self.kind} {self.misses:g} {tag}{extra}>"
+
+
+@dataclass(frozen=True)
+class SymbolicLevel:
+    """All terms of one cache level, plus a downgrade note when inexact."""
+
+    name: str
+    terms: tuple[SymbolicTerm, ...]
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.terms:
+            raise AnalysisError(f"level {self.name!r} needs at least one term")
+
+    @property
+    def misses(self) -> float:
+        return sum(t.misses for t in self.terms)
+
+    @property
+    def conflict_misses(self) -> float:
+        return sum(t.misses for t in self.terms if t.kind == "conflict")
+
+    @property
+    def exact(self) -> bool:
+        """True when every term at this level is authoritative."""
+        return all(t.exact for t in self.terms)
+
+
+@dataclass(frozen=True)
+class SymbolicStats:
+    """Whole-job symbolic result: per-level term decompositions.
+
+    Levels are hierarchy order (L1 first).  Exactness is a *prefix*
+    property: a level can only be exact if the level above it is, because
+    its access stream is the miss stream of the level above.  The engine
+    enforces that; this container merely reports it.
+    """
+
+    total_refs: int
+    levels: tuple[SymbolicLevel, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(self.levels))
+        if self.total_refs < 0:
+            raise AnalysisError("total_refs must be non-negative")
+        if not self.levels:
+            raise AnalysisError("at least one level is required")
+        exact_so_far = True
+        for lv in self.levels:
+            if lv.exact and not exact_so_far:
+                raise AnalysisError(
+                    f"level {lv.name!r} claims exactness below an inexact level"
+                )
+            exact_so_far = exact_so_far and lv.exact
+
+    @property
+    def exact(self) -> bool:
+        """True when every level's every term is authoritative."""
+        return all(lv.exact for lv in self.levels)
+
+    def level(self, name: str) -> SymbolicLevel:
+        for lv in self.levels:
+            if lv.name == name:
+                return lv
+        raise KeyError(f"no cache level named {name!r}")
+
+    def to_predicted(self) -> PredictedStats:
+        """The result in the executor's :class:`PredictedStats` shape.
+
+        Lossless for exact levels: miss counts are integers bounded by
+        ``total_refs`` (each level's distinct-line count is at most the
+        distinct-line count above it, which is at most the reference
+        count), so the rounding/clamping in ``PredictedStats.levels``
+        cannot change them.
+        """
+        return PredictedStats(
+            total_refs=self.total_refs,
+            predictions=tuple(
+                LevelPrediction(
+                    name=lv.name,
+                    misses=lv.misses,
+                    conflict_misses=lv.conflict_misses,
+                )
+                for lv in self.levels
+            ),
+        )
+
+    @cached_property
+    def result(self):
+        """The result as a drop-in :class:`SimulationResult`."""
+        return self.to_predicted().result
+
+    def miss_rate(self, name: str) -> float:
+        return self.result.miss_rate(name)
+
+    def summary(self) -> str:
+        tag = "exact" if self.exact else "approx"
+        return f"symbolic[{tag}] " + self.result.summary()

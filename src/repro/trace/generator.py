@@ -46,16 +46,11 @@ def _offset_exprs(program: Program, layout: DataLayout, nest: LoopNest) -> list[
 def _concrete_from(nest: LoopNest, level: int) -> bool:
     """Can every loop from ``level`` inward be evaluated once outers are fixed?
 
-    True when no bound from ``level`` inward references a loop variable at
-    or inside ``level`` -- i.e. the remaining sub-nest is rectangular given
-    concrete outer indices, which is what broadcasting requires.
+    Delegates to :meth:`LoopNest.concrete_from`, the shared rectangularity
+    test this generator and the symbolic footprint enumeration
+    (:mod:`repro.symbolic.lines`) must agree on.
     """
-    inner_vars = {lp.var for lp in nest.loops[level:]}
-    for lp in nest.loops[level:]:
-        for bound in lp.all_bounds:
-            if any(v in inner_vars for v in bound.variables):
-                return False
-    return True
+    return nest.concrete_from(level)
 
 
 def _subspace_refs(nest: LoopNest, level: int, env: dict[str, int]) -> int:

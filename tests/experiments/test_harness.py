@@ -82,6 +82,7 @@ class TestCLI:
             "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "timing",
             "assoc_claim", "associativity", "threelevel", "tlb", "timetile",
             "ext_search", "ext_assoc", "ext_model", "ext_fuzz",
+            "ext_symbolic",
         }
 
     def test_assoc_claim_alias(self, capsys):

@@ -1,0 +1,137 @@
+"""Property tests of the symbolic tier (hypothesis + the fuzz corpus).
+
+The tier's one load-bearing promise: **an exact claim is never wrong**.
+Whenever the classifier marks a level exact, the closed-form count must
+equal the vectorized LRU simulator bit-for-bit -- over random fuzzed
+programs, over the committed regression corpus (cases distilled
+precisely because *some* backend disagreed there), and against the
+sequential oracle.  Downgrades are the safety valve: they may be
+conservative, but they must carry a documented reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataLayout, simulate_program
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.fuzz import (
+    FUZZ_HIERARCHIES,
+    default_corpus_dir,
+    fuzzed_workloads,
+    load_corpus,
+    oracle_simulate,
+)
+from repro.symbolic import analyze_program, classify_program
+from repro.trace import generate_trace
+
+#: Every downgrade reason the engine documents; "" means exact.
+KNOWN_REASONS = {
+    "", "custom-trace", "capacity", "budget", "line-split",
+    "interference", "inherited",
+}
+
+ROOMY = HierarchyConfig(
+    levels=(
+        CacheConfig(size=16 * 1024, line_size=32, name="L1"),
+        CacheConfig(size=64 * 1024, line_size=64, name="L2"),
+    )
+)
+
+CORPUS = load_corpus(default_corpus_dir())
+
+
+def check_exact_levels(program, layout, hierarchy) -> int:
+    """Analyze, and bit-compare every exact level against the simulator.
+
+    Returns the number of exact levels checked (0 is legal -- a fully
+    downgraded program makes no claims to verify).
+    """
+    stats = analyze_program(program, layout, hierarchy)
+    if not any(lv.exact for lv in stats.levels):
+        return 0
+    sim = simulate_program(program, layout, hierarchy)
+    checked = 0
+    for sym_lv, sim_lv in zip(stats.result.levels, sim.levels):
+        sym = stats.level(sym_lv.name)
+        if not sym.exact:
+            break  # exactness is a prefix; nothing below is claimed
+        assert sym_lv.misses == sim_lv.misses, (
+            f"{sym_lv.name}: symbolic {sym_lv.misses} != "
+            f"simulator {sim_lv.misses}"
+        )
+        assert sym_lv.accesses == sim_lv.accesses
+        checked += 1
+    return checked
+
+
+class TestFuzzedExactness:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_exact_claims_match_simulator(self, seed):
+        for _, program, layout in fuzzed_workloads(seed, count=3):
+            for hier in (ROOMY, FUZZ_HIERARCHIES["dm"], FUZZ_HIERARCHIES["2way"]):
+                check_exact_levels(program, layout, hier)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_classification_is_deterministic(self, seed):
+        [(_, program, layout)] = fuzzed_workloads(seed, count=1)
+        hier = FUZZ_HIERARCHIES["2way"]
+        assert classify_program(program, layout, hier) == classify_program(
+            program, layout, hier
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_downgrade_reasons_are_documented(self, seed):
+        [(_, program, layout)] = fuzzed_workloads(seed, count=1)
+        for hier in FUZZ_HIERARCHIES.values():
+            for c in classify_program(program, layout, hier):
+                assert c.reason in KNOWN_REASONS
+                assert c.exact == (c.reason == "")
+                assert (c.distinct_lines is not None) == c.exact
+
+
+class TestCorpus:
+    """The distilled regression corpus: programs where *some* backend
+    pair historically disagreed.  Exactly where a wrong exact claim
+    would be most likely -- and most damaging."""
+
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+    def test_never_a_wrong_exact_claim(self, case):
+        layout = DataLayout.sequential(case.program)
+        check_exact_levels(case.program, layout, case.hierarchy)
+
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+    def test_exact_claims_match_sequential_oracle(self, case):
+        layout = DataLayout.sequential(case.program)
+        stats = analyze_program(case.program, layout, case.hierarchy)
+        if not any(lv.exact for lv in stats.levels):
+            return
+        oracle = oracle_simulate(
+            generate_trace(case.program, layout), case.hierarchy
+        )
+        for sym_lv, orc_lv in zip(stats.result.levels, oracle.levels):
+            if not stats.level(sym_lv.name).exact:
+                break
+            assert sym_lv.misses == orc_lv.misses
+
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+    def test_downgrades_carry_documented_reasons(self, case):
+        layout = DataLayout.sequential(case.program)
+        for c in classify_program(case.program, layout, case.hierarchy):
+            assert c.reason in KNOWN_REASONS
+
+    def test_conflict_cases_downgrade_gracefully(self):
+        """The corpus's interference-heavy pair must not claim exactness
+        -- graceful downgrade, with the honest reason."""
+        conflicted = [c for c in CORPUS if c.name.startswith("model-95-")]
+        assert conflicted, "expected the model-95 conflict pair in the corpus"
+        for case in conflicted:
+            layout = DataLayout.sequential(case.program)
+            cls = classify_program(case.program, layout, case.hierarchy)
+            assert not any(c.exact for c in cls)
+            assert cls[0].reason == "interference"

@@ -1,0 +1,220 @@
+"""The classifier's verdicts and the analyzer's counts.
+
+Ground truth throughout is ``SimJob.run()`` -- the vectorized LRU
+simulator.  Exact classifications must match it bit-for-bit; inexact
+classifications must carry the right downgrade reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataLayout, ProgramBuilder
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.exec.jobs import SimJob
+from repro.symbolic import (
+    LevelClassification,
+    analyze_job,
+    analyze_program,
+    classify_job,
+    classify_program,
+)
+from tests.search.conftest import build_pingpong, build_tiny_hier
+
+
+def roomy_hier() -> HierarchyConfig:
+    return HierarchyConfig(
+        levels=(
+            CacheConfig(size=16 * 1024, line_size=32, name="L1"),
+            CacheConfig(size=64 * 1024, line_size=64, name="L2"),
+        )
+    )
+
+
+def build_small(n: int = 16):
+    """Two tiny arrays, one pass each -- fits everywhere."""
+    b = ProgramBuilder("small")
+    A = b.array("A", (n,))
+    B = b.array("B", (n,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.assign(B[i], reads=[A[i]], flops=1)])
+    return b.build()
+
+
+def build_big(n: int = 4096):
+    """One 32 KB array: provably overflows every tiny level's capacity."""
+    b = ProgramBuilder("big")
+    A = b.array("A", (n,))
+    (i,) = b.vars("i")
+    b.nest([b.loop(i, 1, n)], [b.use(reads=[A[i]])])
+    return b.build()
+
+
+def reasons(classification) -> list[str]:
+    return [c.reason for c in classification]
+
+
+class TestClassify:
+    def test_exact_on_roomy_hierarchy(self):
+        program = build_small()
+        layout = DataLayout.sequential(program)
+        cls = classify_program(program, layout, roomy_hier())
+        assert all(c.exact for c in cls)
+        # 16 doubles per array = 4 lines of 32 B each, 8 total at L1;
+        # at L2 (64 B lines) each array collapses to 2 lines.
+        assert cls[0].distinct_lines == 8
+        assert cls[1].distinct_lines == 4
+
+    def test_capacity_prefilter(self):
+        program = build_big()
+        layout = DataLayout.sequential(program)
+        cls = classify_program(program, layout, build_tiny_hier())
+        assert reasons(cls) == ["capacity", "inherited"]
+        assert cls[0].distinct_lines is None
+        assert "alone spans" in cls[0].detail
+
+    def test_interference_downgrade(self):
+        # Two 4-line arrays padded exactly one cache size apart: same
+        # sets, direct-mapped, occupancy 2 -- evictions occur even though
+        # the 8-line footprint is far below the 32-line capacity.  (The
+        # pad goes *before* the padded array, so pad B to move it.)
+        program = build_small()
+        layout = DataLayout.sequential(program).with_pad("B", 1024 - 128)
+        cls = classify_program(program, layout, build_tiny_hier())
+        assert reasons(cls)[0] == "interference"
+        assert not cls[0].exact
+        # L2 is roomy and padding-free in set terms, but sits below an
+        # inexact level, so it inherits.
+        assert reasons(cls)[1] == "inherited"
+
+    def test_line_split_downgrade(self):
+        hier = HierarchyConfig(
+            levels=(
+                CacheConfig(size=16 * 1024, line_size=32, name="L1"),
+                CacheConfig(size=48 * 1024, line_size=48, name="L2"),
+            )
+        )
+        program = build_small()
+        layout = DataLayout.sequential(program)
+        cls = classify_program(program, layout, hier)
+        assert cls[0].exact
+        assert reasons(cls)[1] == "line-split"
+
+    def test_budget_downgrade(self):
+        program = build_small()
+        layout = DataLayout.sequential(program)
+        cls = classify_program(
+            program, layout, roomy_hier(), max_offsets=4
+        )
+        assert reasons(cls) == ["budget", "inherited"]
+
+    def test_deterministic(self):
+        program = build_pingpong()
+        layout = DataLayout.sequential(program)
+        a = classify_program(program, layout, build_tiny_hier())
+        b = classify_program(program, layout, build_tiny_hier())
+        assert a == b
+
+
+class TestClassifyJob:
+    def test_custom_trace_downgrade(self):
+        program = build_small()
+        job = SimJob(
+            program,
+            DataLayout.sequential(program),
+            roomy_hier(),
+            kernel="dot",
+        )
+        cls = classify_job(job)
+        assert reasons(cls) == ["custom-trace", "custom-trace"]
+        assert all(not c.exact for c in cls)
+
+    def test_nest_index_restricts_footprint(self):
+        b = ProgramBuilder("two_nests")
+        A = b.array("A", (16,))
+        B = b.array("B", (1024,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 16)], [b.use(reads=[A[i]])])
+        b.nest([b.loop(i, 1, 1024)], [b.use(reads=[B[i]])])
+        program = b.build()
+        layout = DataLayout.sequential(program)
+        whole = SimJob(program, layout, build_tiny_hier())
+        first = SimJob(program, layout, build_tiny_hier(), nest_index=0)
+        assert not all(c.exact for c in classify_job(whole))
+        assert all(c.exact for c in classify_job(first))
+
+
+class TestAnalyze:
+    def test_exact_matches_simulator_bitwise(self):
+        program = build_small()
+        job = SimJob(program, DataLayout.sequential(program), roomy_hier())
+        stats = analyze_job(job)
+        assert stats.exact
+        sim = job.run()
+        assert stats.result.total_refs == sim.total_refs
+        for sym_lv, sim_lv in zip(stats.result.levels, sim.levels):
+            assert sym_lv.misses == sim_lv.misses
+            assert sym_lv.accesses == sim_lv.accesses
+
+    def test_exact_nest_restricted_matches_simulator(self):
+        program = build_pingpong(32)
+        job = SimJob(
+            program, DataLayout.sequential(program), roomy_hier(), nest_index=0
+        )
+        stats = analyze_job(job)
+        assert stats.exact
+        sim = job.run()
+        for sym_lv, sim_lv in zip(stats.result.levels, sim.levels):
+            assert sym_lv.misses == sim_lv.misses
+
+    def test_inexact_levels_use_predictor_terms(self):
+        program = build_big()
+        layout = DataLayout.sequential(program)
+        stats = analyze_program(program, layout, build_tiny_hier())
+        assert not stats.exact
+        lv = stats.levels[0]
+        assert not lv.exact
+        assert lv.note.startswith("capacity")
+        assert {t.kind for t in lv.terms} <= {"sweep", "conflict"}
+        # The estimate is still a sane magnitude: a 1024-line sweep
+        # misses at least once per line at L1.
+        assert lv.misses >= 1024
+
+    def test_classification_reuse_is_equivalent(self):
+        program = build_small()
+        layout = DataLayout.sequential(program)
+        hier = roomy_hier()
+        cls = classify_program(program, layout, hier)
+        a = analyze_program(program, layout, hier)
+        b = analyze_program(program, layout, hier, classification=cls)
+        assert a.total_refs == b.total_refs
+        assert [lv.misses for lv in a.levels] == [lv.misses for lv in b.levels]
+        assert [lv.exact for lv in a.levels] == [lv.exact for lv in b.levels]
+
+    def test_exact_claim_never_wrong_under_padding_sweep(self):
+        # Sweep paddings that move the two arrays through every relative
+        # set alignment of the tiny L1; whenever the classifier says
+        # exact, the simulator must agree exactly.
+        program = build_small(32)
+        base = DataLayout.sequential(program)
+        hier = build_tiny_hier()
+        verdicts = set()
+        for pad in range(0, 1024 + 32, 32):
+            layout = base.with_pad("B", pad)
+            job = SimJob(program, layout, hier)
+            stats = analyze_job(job)
+            verdicts.add(stats.exact)
+            if stats.exact:
+                sim = job.run()
+                for sym_lv, sim_lv in zip(stats.result.levels, sim.levels):
+                    assert sym_lv.misses == sim_lv.misses, (
+                        f"exact claim wrong at pad={pad}"
+                    )
+        # The sweep must exercise both branches to mean anything.
+        assert verdicts == {True, False}
+
+
+class TestLevelClassification:
+    def test_container_shape(self):
+        c = LevelClassification("L1", True, distinct_lines=7)
+        assert c.exact and c.distinct_lines == 7 and c.reason == ""

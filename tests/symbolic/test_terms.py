@@ -1,0 +1,118 @@
+"""Unit tests for the symbolic result containers (terms, levels, stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.symbolic import TERM_KINDS, SymbolicLevel, SymbolicStats, SymbolicTerm
+
+
+def exact_level(name: str, misses: int) -> SymbolicLevel:
+    return SymbolicLevel(
+        name=name, terms=(SymbolicTerm("cold", float(misses), True),)
+    )
+
+
+def approx_level(name: str, sweep: float, conflict: float = 0.0) -> SymbolicLevel:
+    terms = [SymbolicTerm("sweep", sweep, False)]
+    if conflict:
+        terms.append(SymbolicTerm("conflict", conflict, False))
+    return SymbolicLevel(name=name, terms=tuple(terms), note="capacity")
+
+
+class TestSymbolicTerm:
+    def test_kinds_are_closed(self):
+        assert TERM_KINDS == ("cold", "sweep", "conflict")
+        with pytest.raises(AnalysisError, match="unknown symbolic term kind"):
+            SymbolicTerm("warm", 1.0, False)
+
+    def test_negative_misses_rejected(self):
+        with pytest.raises(AnalysisError, match="non-negative"):
+            SymbolicTerm("cold", -1.0, True)
+
+    def test_exact_requires_integer_count(self):
+        with pytest.raises(AnalysisError, match="integer"):
+            SymbolicTerm("cold", 1.5, True)
+        # Approximate terms may be fractional; exact integral floats pass.
+        SymbolicTerm("sweep", 1.5, False)
+        SymbolicTerm("cold", 4.0, True)
+
+    def test_repr_tags_exactness(self):
+        assert "exact" in repr(SymbolicTerm("cold", 2.0, True))
+        assert "approx" in repr(SymbolicTerm("sweep", 2.5, False))
+
+
+class TestSymbolicLevel:
+    def test_misses_sum_terms(self):
+        lv = approx_level("L1", sweep=10.0, conflict=3.5)
+        assert lv.misses == 13.5
+        assert lv.conflict_misses == 3.5
+        assert not lv.exact
+
+    def test_exact_requires_every_term(self):
+        lv = SymbolicLevel(
+            name="L1",
+            terms=(
+                SymbolicTerm("cold", 4.0, True),
+                SymbolicTerm("sweep", 1.0, False),
+            ),
+        )
+        assert not lv.exact
+        assert exact_level("L1", 4).exact
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(AnalysisError, match="at least one term"):
+            SymbolicLevel(name="L1", terms=())
+
+
+class TestSymbolicStats:
+    def test_exactness_prefix_enforced(self):
+        # An exact level *below* an inexact one is a contradiction: its
+        # access stream is the approximate miss stream of the level above.
+        with pytest.raises(AnalysisError, match="below an inexact level"):
+            SymbolicStats(
+                total_refs=100,
+                levels=(approx_level("L1", 10.0), exact_level("L2", 4)),
+            )
+        # The legal orders: exact prefix, then approximate suffix.
+        SymbolicStats(
+            total_refs=100,
+            levels=(exact_level("L1", 10), approx_level("L2", 4.0)),
+        )
+        SymbolicStats(
+            total_refs=100, levels=(exact_level("L1", 10), exact_level("L2", 4))
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError, match="non-negative"):
+            SymbolicStats(total_refs=-1, levels=(exact_level("L1", 1),))
+        with pytest.raises(AnalysisError, match="at least one level"):
+            SymbolicStats(total_refs=1, levels=())
+
+    def test_level_lookup(self):
+        stats = SymbolicStats(
+            total_refs=100,
+            levels=(exact_level("L1", 10), exact_level("L2", 4)),
+        )
+        assert stats.level("L2").misses == 4
+        with pytest.raises(KeyError):
+            stats.level("L3")
+
+    def test_to_predicted_lossless_for_exact_counts(self):
+        stats = SymbolicStats(
+            total_refs=100,
+            levels=(exact_level("L1", 37), exact_level("L2", 12)),
+        )
+        result = stats.result
+        assert result.total_refs == 100
+        assert [lv.misses for lv in result.levels] == [37, 12]
+        # L2's accesses are L1's misses (the stream-chaining contract).
+        assert result.levels[1].accesses == 37
+        assert stats.miss_rate("L1") == pytest.approx(0.37)
+
+    def test_summary_tags_exactness(self):
+        exact = SymbolicStats(total_refs=10, levels=(exact_level("L1", 2),))
+        approx = SymbolicStats(total_refs=10, levels=(approx_level("L1", 2.0),))
+        assert exact.summary().startswith("symbolic[exact]")
+        assert approx.summary().startswith("symbolic[approx]")

@@ -181,6 +181,49 @@ class TestFuzzExports:
             assert getattr(repro.fuzz, name) is not None
 
 
+class TestSymbolicExports:
+    """The symbolic tier's entry points are re-exported from the root."""
+
+    SYMBOLIC_NAMES = [
+        "SymbolicStats",
+        "classify_job",
+        "analyze_job",
+    ]
+
+    def test_names_in_package_all(self):
+        import repro
+
+        for name in self.SYMBOLIC_NAMES + ["BACKENDS", "fuzzed_workloads"]:
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_root_exports_match_subpackage(self):
+        import repro
+        import repro.symbolic
+
+        for name in self.SYMBOLIC_NAMES:
+            assert getattr(repro, name) is getattr(repro.symbolic, name)
+
+    def test_subpackage_surface(self):
+        import repro.symbolic
+
+        for name in (
+            "SymbolicTerm", "SymbolicLevel", "SymbolicStats", "TERM_KINDS",
+            "LevelClassification", "classify_program", "classify_job",
+            "analyze_program", "analyze_job", "distinct_offsets",
+            "distinct_lines", "max_set_occupancy",
+        ):
+            assert name in repro.symbolic.__all__
+            assert getattr(repro.symbolic, name) is not None
+
+    def test_exec_exports_backend_surface(self):
+        import repro.exec
+
+        for name in ("BACKENDS", "run_oracle", "validate_backend"):
+            assert name in repro.exec.__all__
+            assert getattr(repro.exec, name) is not None
+
+
 class TestCacheSimulatorExports:
     """Both k-way simulators (oracle and vectorized) are package API."""
 
