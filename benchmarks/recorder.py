@@ -11,9 +11,12 @@ Benchmarks in the ``assoc`` group (the k-way simulator throughput suite,
 ``test_bench_assoc.py``) are routed to a separate ``BENCH_assoc.json``
 (``$REPRO_BENCH_ASSOC_JSON``), and benchmarks in the ``symbolic`` group
 (the symbolic-tier classify/analyze suite, ``test_bench_symbolic.py``)
-to ``BENCH_symbolic.json`` (``$REPRO_BENCH_SYMBOLIC_JSON``), so
-simulator-throughput, symbolic-tier, and search-subsystem history stay
-independently diffable; all files are uploaded as CI artifacts per run.
+to ``BENCH_symbolic.json`` (``$REPRO_BENCH_SYMBOLIC_JSON``), and
+benchmarks in the ``exec`` group (the sweep-scheduler suite,
+``test_bench_exec.py``) to ``BENCH_exec.json``
+(``$REPRO_BENCH_EXEC_JSON``), so simulator-throughput, symbolic-tier,
+scheduler, and search-subsystem history stay independently diffable;
+all files are uploaded as CI artifacts per run.
 
 The file holds a list of session records, newest last::
 
@@ -50,10 +53,12 @@ from typing import Any
 ENV_BENCH_JSON = "REPRO_BENCH_JSON"
 ENV_BENCH_ASSOC_JSON = "REPRO_BENCH_ASSOC_JSON"
 ENV_BENCH_SYMBOLIC_JSON = "REPRO_BENCH_SYMBOLIC_JSON"
+ENV_BENCH_EXEC_JSON = "REPRO_BENCH_EXEC_JSON"
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_PATH = _ROOT / "BENCH_search.json"
 DEFAULT_ASSOC_PATH = _ROOT / "BENCH_assoc.json"
 DEFAULT_SYMBOLIC_PATH = _ROOT / "BENCH_symbolic.json"
+DEFAULT_EXEC_PATH = _ROOT / "BENCH_exec.json"
 
 #: Benchmark groups routed to ``BENCH_assoc.json`` instead of the default.
 ASSOC_GROUPS = {"assoc"}
@@ -61,6 +66,11 @@ ASSOC_GROUPS = {"assoc"}
 #: Benchmark groups routed to ``BENCH_symbolic.json`` (the symbolic-tier
 #: classify/analyze throughput and tier-speedup artifact).
 SYMBOLIC_GROUPS = {"symbolic"}
+
+#: Benchmark groups routed to ``BENCH_exec.json`` (the sweep executor's
+#: scheduler/store suite: cold vs warm sweeps, worker scaling, pool
+#: reuse).
+EXEC_GROUPS = {"exec"}
 
 #: Values of $REPRO_BENCH_JSON that turn recording off entirely.
 _DISABLED = {"0", "off", "none", ""}
@@ -134,6 +144,22 @@ def symbolic_output_path() -> pathlib.Path | None:
     return DEFAULT_SYMBOLIC_PATH
 
 
+def exec_output_path() -> pathlib.Path | None:
+    """Where ``exec``-group rows go, or ``None`` when disabled.
+
+    Mirrors :func:`assoc_output_path`: ``$REPRO_BENCH_EXEC_JSON``
+    overrides the path, ``$REPRO_BENCH_JSON=off`` disables both.
+    """
+    env = os.environ.get(ENV_BENCH_EXEC_JSON)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return pathlib.Path(env)
+    if output_path() is None:
+        return None
+    return DEFAULT_EXEC_PATH
+
+
 def summarize(benchmarks) -> list[dict[str, Any]]:
     """Per-benchmark timing summaries from pytest-benchmark's records."""
     rows = []
@@ -200,18 +226,21 @@ def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
 
     Rows whose ``group`` is in :data:`ASSOC_GROUPS` go to
     :func:`assoc_output_path`, :data:`SYMBOLIC_GROUPS` rows to
-    :func:`symbolic_output_path`, the rest to :func:`output_path`.
+    :func:`symbolic_output_path`, :data:`EXEC_GROUPS` rows to
+    :func:`exec_output_path`, the rest to :func:`output_path`.
     Returns the paths actually written.
     """
     assoc = [r for r in rows if r.get("group") in ASSOC_GROUPS]
     symbolic = [r for r in rows if r.get("group") in SYMBOLIC_GROUPS]
-    routed = ASSOC_GROUPS | SYMBOLIC_GROUPS
+    execrows = [r for r in rows if r.get("group") in EXEC_GROUPS]
+    routed = ASSOC_GROUPS | SYMBOLIC_GROUPS | EXEC_GROUPS
     rest = [r for r in rows if r.get("group") not in routed]
     written = []
     for bucket, path in (
         (rest, output_path()),
         (assoc, assoc_output_path()),
         (symbolic, symbolic_output_path()),
+        (execrows, exec_output_path()),
     ):
         if bucket and path is not None:
             out = append_session(bucket, path)

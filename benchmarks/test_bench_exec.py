@@ -1,0 +1,114 @@
+"""Benchmark: the sweep executor -- pool reuse, warm stores, scaling.
+
+Every benchmark carries ``group="exec"`` so the recorder routes its rows
+to ``BENCH_exec.json``.  Three questions, answered with numbers attached
+as ``extra_info``:
+
+* how much does the **persistent pool** buy a multi-round driver (the
+  autotuner's executor pattern: one executor, many small ``run()``
+  calls) over the old spin-a-pool-per-run behaviour -- recorded as
+  ``pool_reuse_speedup``;
+* how fast is a **warm sweep** (everything served through the store's
+  manifest scan + hot tier) against the cold run that populated it --
+  recorded as ``warm_vs_cold_speedup``;
+* how sweep wall time behaves across **worker counts** (1/2/4), so
+  scheduler regressions show up as a timing trend, not an anecdote.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exec.executor import SweepExecutor
+from repro.exec.store import ResultStore
+from repro.experiments.fig9_pad import build_jobs
+from tests.exec.test_executor import job_for
+
+pytestmark = pytest.mark.benchmark(group="exec")
+
+#: The autotuner shape: many small rounds through one executor.
+ROUND_SIZES = [(48 + 4 * r, 52 + 4 * r, 56 + 4 * r) for r in range(8)]
+
+
+@pytest.fixture(scope="module")
+def round_jobs():
+    return [[job_for(n) for n in sizes] for sizes in ROUND_SIZES]
+
+
+@pytest.fixture(scope="module")
+def sweep_jobs():
+    return build_jobs(quick=True)
+
+
+def test_bench_pool_reuse_multiround(benchmark, round_jobs):
+    """One persistent pool across all rounds vs a fresh pool per round
+    (the pre-scheduler executor's behaviour, emulated by closing the
+    pool after every run)."""
+
+    def persistent():
+        with SweepExecutor(workers=2) as ex:
+            for jobs in round_jobs:
+                ex.run(jobs)
+            return ex.pool().spinups
+
+    spinups = benchmark.pedantic(persistent, rounds=2, iterations=1,
+                                 warmup_rounds=0)
+    assert spinups == 1, "persistent executor must reuse its pool"
+
+    t0 = time.perf_counter()
+    for jobs in round_jobs:
+        with SweepExecutor(workers=2) as ex:
+            ex.run(jobs)
+    fresh_pools_s = time.perf_counter() - t0
+
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    benchmark.extra_info["rounds"] = len(round_jobs)
+    benchmark.extra_info["fresh_pools_s"] = round(fresh_pools_s, 4)
+    benchmark.extra_info["pool_reuse_speedup"] = round(
+        fresh_pools_s / stats.min, 2
+    )
+
+
+def test_bench_warm_sweep_manifest_scan(benchmark, sweep_jobs, tmp_path):
+    """A fully-warm sweep through a fresh store instance: one manifest
+    scan + hot-tier lookups, no per-key JSON opens."""
+    store_root = tmp_path / "store"
+    t0 = time.perf_counter()
+    with SweepExecutor(workers=1, store=ResultStore(store_root)) as ex:
+        ex.run(sweep_jobs)
+    cold_s = time.perf_counter() - t0
+
+    def warm():
+        # A fresh instance per round: the hot tier starts empty, so the
+        # round pays exactly one manifest scan (the cross-process shape).
+        ex = SweepExecutor(workers=1, store=ResultStore(store_root))
+        ex.run(sweep_jobs)
+        return ex.stats
+
+    stats_out = benchmark(warm)
+    assert stats_out.hit_rate == 1.0, "warm sweep must be fully cached"
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    benchmark.extra_info["jobs"] = len(sweep_jobs)
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_vs_cold_speedup"] = round(
+        cold_s / stats.min, 1
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_sweep_workers(benchmark, workers):
+    """Cold sweep wall time at each pool width (store disabled, so every
+    round re-simulates; jobs are sized to keep rounds short)."""
+    jobs = [job_for(n) for n in (64, 72, 80, 88, 96, 104)]
+
+    def run():
+        with SweepExecutor(workers=workers) as ex:
+            return ex.run(jobs)
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert all(r is not None for r in results)
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["jobs_per_sec"] = round(len(jobs) / stats.min, 1)

@@ -275,10 +275,15 @@ def evaluate_strategies(
         SimJob(program=p, layout=lay, hierarchy=hierarchy, tag=(s,))
         for s, (p, lay, _) in optimized.items()
     ]
+    owns_executor = executor is None
     if executor is None:
         executor = SweepExecutor(workers=workers if workers is not None else 1,
                                  store=store)
-    sims = executor.run(jobs)
+    try:
+        sims = executor.run(jobs)
+    finally:
+        if owns_executor:
+            executor.close()
     return {
         s: StrategyOutcome(
             strategy=s, program=p, layout=lay, report=rep, result=sim

@@ -1,32 +1,44 @@
 """Parallel experiment execution with content-addressed memoization.
 
-The subsystem has three layers:
+The subsystem's layers:
 
 * :mod:`repro.exec.hashing` -- stable content hashing of simulation
   inputs (program IR, layout, hierarchy geometry, trace mode);
 * :mod:`repro.exec.store` -- :class:`ResultStore`, an on-disk
-  content-addressed cache of :class:`~repro.cache.stats.SimulationResult`;
+  content-addressed cache of :class:`~repro.cache.stats.SimulationResult`
+  with an in-memory hot tier and a packed per-store manifest for
+  batched warm-up scans;
+* :mod:`repro.exec.cost` -- trace-free per-job cost estimates (dynamic
+  reference count, working-set lower bound) that order dispatch and
+  size trace chunk budgets;
+* :mod:`repro.exec.scheduler` -- the persistent worker pool
+  (:class:`WorkerPool`), shared-payload broadcast, and cost-aware
+  work-stealing dispatch the executor runs on;
 * :mod:`repro.exec.executor` -- :class:`SweepExecutor`, fanning
-  independent :class:`SimJob` simulations across worker processes with
+  independent :class:`SimJob` simulations across the pool with
   deterministic ordering and graceful serial fallback;
 * :mod:`repro.exec.backends` -- the tier catalogue (``auto``,
   ``symbolic``, ``model``, ``sim``, ``oracle``) the executor selects
-  from, each keyed separately in the store.
+  from, each keyed separately in the store;
+* :mod:`repro.exec.shard` -- deterministic ``i/N`` sweep partitioning
+  (:class:`ShardSpec`) plus :func:`merge_stores` / :func:`merge_traces`
+  to fuse per-shard artifacts back into one.
 
 Typical sweep::
 
     from repro.exec import ResultStore, SimJob, SweepExecutor
 
     jobs = [SimJob(program, layout, hierarchy) for layout in layouts]
-    ex = SweepExecutor(workers=4, store=ResultStore("~/.cache/repro-sim"))
-    results = ex.run(jobs)          # parallel; re-running is ~free
-    print(ex.stats.format())        # hits/misses, per-job timing
+    with SweepExecutor(workers=4, store=ResultStore("~/.cache/repro-sim")) as ex:
+        results = ex.run(jobs)      # parallel; re-running is ~free
+        print(ex.stats.format())    # hits/misses, per-job timing
 
 See ``docs/parallel_execution.md`` for the design and the cache-key
 contract.
 """
 
 from repro.exec.backends import BACKENDS, run_oracle, validate_backend
+from repro.exec.cost import auto_chunk_refs, estimate_job_refs, job_cost
 from repro.exec.executor import (
     ExecStats,
     JobRecord,
@@ -38,6 +50,14 @@ from repro.exec.executor import (
 )
 from repro.exec.hashing import SCHEMA_VERSION, job_key, program_fingerprint
 from repro.exec.jobs import SimJob
+from repro.exec.scheduler import WorkerPool
+from repro.exec.shard import (
+    ShardSpec,
+    merge_stores,
+    merge_traces,
+    parse_shard,
+    shard_jobs,
+)
 from repro.exec.store import ResultStore, open_default_store
 
 __all__ = [
@@ -46,15 +66,24 @@ __all__ = [
     "ExecStats",
     "JobRecord",
     "ResultStore",
+    "ShardSpec",
     "SimJob",
     "SweepExecutor",
+    "WorkerPool",
+    "auto_chunk_refs",
+    "estimate_job_refs",
     "execute_one",
     "get_default_store",
+    "job_cost",
     "job_key",
+    "merge_stores",
+    "merge_traces",
     "open_default_store",
+    "parse_shard",
     "program_fingerprint",
     "run_jobs",
     "run_oracle",
     "set_default_store",
+    "shard_jobs",
     "validate_backend",
 ]

@@ -5,45 +5,61 @@ Every experiment in the reproduction is a list of *independent*
 a list with
 
 * **memoization** -- each job's content key is checked against a
-  :class:`~repro.exec.store.ResultStore` before any work happens;
+  :class:`~repro.exec.store.ResultStore` before any work happens; large
+  sweeps trigger one batched :meth:`~repro.exec.store.ResultStore.scan`
+  so a warm sweep costs one manifest read, not thousands of JSON opens;
 * **tiered backends** -- ``backend="auto"`` serves each job from the
   cheapest authoritative tier: the symbolic closed form where it is
   provably exact (:mod:`repro.symbolic`), the vectorized simulator
-  everywhere else.  ``"symbolic"``, ``"model"``, ``"sim"``, and
-  ``"oracle"`` force a tier (see :mod:`repro.exec.backends`); every
-  tier's results are keyed with its backend name so they never alias in
-  the store;
-* **parallelism** -- remaining jobs fan out across worker processes via
-  :class:`concurrent.futures.ProcessPoolExecutor` (``pool.map`` with the
-  job order preserved, so results are deterministic and byte-identical to
-  the serial path);
+  everywhere else (with a working-set-bounded trace chunk budget, see
+  :func:`repro.exec.cost.auto_chunk_refs`).  ``"symbolic"``, ``"model"``,
+  ``"sim"``, and ``"oracle"`` force a tier (see
+  :mod:`repro.exec.backends`); every tier's results are keyed with its
+  backend name so they never alias in the store;
+* **parallelism** -- remaining jobs are ordered longest-first by a
+  cost estimate from the IR (:func:`repro.exec.cost.job_cost`) and
+  dispatched to a *persistent* worker pool
+  (:mod:`repro.exec.scheduler`): the pool survives across ``run()``
+  calls (close it with :meth:`close` or a ``with`` block), shared
+  program/hierarchy state pickles once per sweep instead of once per
+  job, and idle workers pull from the shared queue so stragglers never
+  serialize the tail.  Results are reassembled in job order, so
+  parallel execution stays byte-identical to the serial path;
+* **sharding** -- ``shard="i/N"`` deterministically partitions any
+  sweep by content key (:mod:`repro.exec.shard`): non-owned jobs are
+  served from the store when present but never computed, so N shard
+  runs over disjoint store directories can be fused with
+  :func:`repro.exec.shard.merge_stores` into a store that replays
+  byte-identically to the unsharded run;
 * **graceful degradation** -- ``workers=1``, a single pending job, or any
   failure to stand a pool up (restricted environments, unpicklable
   platforms) falls back to in-process serial execution;
 * **observability** -- per-job timing and hit/miss provenance are kept in
   :attr:`SweepExecutor.stats` and the cumulative :attr:`history`, mirrored
-  into the :mod:`repro.obs` metrics registry, and (when a tracer is
-  active) emitted as one span per sweep plus one span per executed job --
-  pool jobs carry their worker's pid and queue-wait time, so a Chrome
-  trace shows per-worker lanes and scheduling gaps.
+  into the :mod:`repro.obs` metrics registry (including ``exec.steals``
+  and the pool queue-depth gauge), and (when a tracer is active) emitted
+  as one span per sweep plus one span per executed job -- pool jobs
+  carry their worker's pid and queue-wait time, so a Chrome trace shows
+  per-worker lanes and scheduling gaps.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cache.stats import SimulationResult
 from repro.errors import ReproError, SimulationError
 from repro.exec.backends import _timed_run_oracle, validate_backend
+from repro.exec.cost import auto_chunk_refs, job_cost
 from repro.exec.jobs import SimJob
+from repro.exec.scheduler import WorkerPool, dispatch_jobs, pack_payloads
+from repro.exec.shard import ShardSpec, parse_shard
 from repro.exec.store import ResultStore, open_default_store
 from repro.obs.metrics import format_exec_line, get_metrics
 from repro.obs.tracer import get_tracer
+from repro.trace.generator import DEFAULT_CHUNK_REFS
 
 __all__ = [
     "JobRecord",
@@ -56,6 +72,12 @@ __all__ = [
 ]
 
 _UNSET = object()
+
+#: Sweeps at least this large trigger one batched store scan up front
+#: (warm sweeps then resolve every hit from the hot tier); smaller calls
+#: keep the historic per-key lookups, so one-off helpers never pay a
+#: whole-store read.
+SCAN_THRESHOLD = 32
 
 
 @dataclass(frozen=True)
@@ -76,6 +98,9 @@ class ExecStats:
     workers: int = 1
     wall_seconds: float = 0.0
     records: list[JobRecord] = field(default_factory=list)
+    skipped: int = 0  # non-owned jobs a sharded run declined to compute
+    steals: int = 0  # out-of-order completions (dynamic load balancing)
+    queue_depth_peak: int = 0
 
     @property
     def jobs(self) -> int:
@@ -125,6 +150,9 @@ class ExecStats:
         for r in runs:
             out.wall_seconds += r.wall_seconds
             out.records.extend(r.records)
+            out.skipped += r.skipped
+            out.steals += r.steals
+            out.queue_depth_peak = max(out.queue_depth_peak, r.queue_depth_peak)
         return out
 
     def format(self) -> str:
@@ -180,6 +208,18 @@ class SweepExecutor:
         real simulation of the same job; a divergence raises
         :class:`~repro.errors.SimulationError`.  A correctness harness
         switch -- it forfeits the symbolic tier's speed.
+    shard:
+        ``"i/N"`` (or a :class:`~repro.exec.shard.ShardSpec`) restricts
+        *computation* to the jobs this shard owns; non-owned jobs are
+        served from the store when present, else their result slot is
+        ``None``.  The default (None) computes everything.
+
+    The executor owns a persistent :class:`~repro.exec.scheduler.WorkerPool`
+    created on first parallel dispatch and reused across ``run()`` calls;
+    release it with :meth:`close` or use the executor as a context
+    manager.  An unclosed executor's workers are reclaimed on garbage
+    collection, so short-lived executors stay safe -- but multi-round
+    drivers should keep one executor alive to amortize pool spin-up.
     """
 
     def __init__(
@@ -188,6 +228,7 @@ class SweepExecutor:
         store: ResultStore | None = None,
         backend: str = "sim",
         validate: bool = False,
+        shard: "str | ShardSpec | None" = None,
     ):
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
@@ -195,30 +236,33 @@ class SweepExecutor:
         self.store = store
         self.backend = validate_backend(backend)
         self.validate = validate
+        self.shard = parse_shard(shard)
         self.stats = ExecStats(workers=self.workers)
         self.history: list[ExecStats] = []
         self.predictions = 0
         self.predict_seconds = 0.0
+        self._pool: WorkerPool | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def pool(self) -> WorkerPool:
+        """The executor's persistent worker pool (created lazily)."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- internals ---------------------------------------------------------
-    def _run_pool(
-        self, jobs: list[SimJob], nworkers: int, runner=_timed_run
-    ) -> list | None:
-        """Map jobs over a process pool; None when the pool cannot be used."""
-        try:
-            with ProcessPoolExecutor(max_workers=nworkers) as pool:
-                return list(pool.map(runner, jobs, chunksize=1))
-        except (
-            OSError,
-            ValueError,
-            RuntimeError,
-            ImportError,
-            NotImplementedError,
-            BrokenProcessPool,
-            pickle.PicklingError,
-        ):
-            return None
-
     def _run_model(self, i, job, stats, results, tracer) -> None:
         """Serve one job from the analytic-predictor tier (never stored)."""
         from repro.model import predict_job  # lazy: model imports analysis/layout
@@ -290,6 +334,71 @@ class SweepExecutor:
             )
         return True
 
+    def _serve_unowned(self, i, job, chosen, sim_backend, stats, results) -> None:
+        """Store-only service of a job another shard owns.
+
+        Checks every key the chosen tier could have stored the job
+        under; a miss leaves ``results[i]`` as None and counts the job
+        as skipped -- the owning shard's store has it.
+        """
+        cached = None
+        key = None
+        if self.store is not None and chosen != "model":
+            if chosen in ("symbolic", "auto"):
+                key = job.key("symbolic")
+                cached = self.store.get(key)
+            if cached is None and chosen != "symbolic":
+                key = job.key(sim_backend)
+                cached = self.store.get(key)
+        if cached is not None:
+            results[i] = cached
+            stats.records.append(JobRecord(i, key, 0.0, "cache", job.tag))
+        else:
+            stats.skipped += 1
+
+    def _dispatch_pending(self, ordered, runner, tracer, stats):
+        """Compute the unique pending jobs, cost-ordered, pool-first.
+
+        ``ordered`` is a list of ``(key, index, job)`` triples in
+        first-seen order.  Returns ``{key: (out_tuple, source)}``.
+        Longest-first submission plus a shared worker queue means short
+        jobs backfill around stragglers; any pool failure finishes the
+        missing jobs serially in-process, preserving determinism.
+        """
+        ranked = sorted(
+            range(len(ordered)),
+            key=lambda r: (
+                -job_cost(ordered[r][2])[0],
+                -job_cost(ordered[r][2])[1],
+                r,
+            ),
+        )
+        submit = [ordered[r] for r in ranked]
+        outs: dict[int, tuple] = {}
+        pooled_ranks: set[int] = set()
+        if self.workers > 1 and len(submit) > 1:
+            disp = dispatch_jobs(
+                self.pool(), pack_payloads([job for _, _, job in submit]), runner
+            )
+            outs = disp.outs
+            pooled_ranks = set(outs)
+            stats.steals += disp.steals
+            if disp.depth_samples:
+                stats.queue_depth_peak = max(
+                    stats.queue_depth_peak, max(disp.depth_samples)
+                )
+                m = get_metrics()
+                depth_hist = m.histogram("exec.queue_depth")
+                for depth in disp.depth_samples:
+                    depth_hist.observe(depth)
+        for rank, (_, _, job) in enumerate(submit):
+            if rank not in outs:
+                outs[rank] = runner(job)
+        return {
+            key: (outs[rank], "pool" if rank in pooled_ranks else "serial")
+            for rank, (key, _, _) in enumerate(submit)
+        }
+
     # -- API ---------------------------------------------------------------
     def run(self, jobs, backend: str | None = None) -> list[SimulationResult]:
         """Execute all jobs; results come back in job order.
@@ -297,9 +406,10 @@ class SweepExecutor:
         ``backend`` overrides the executor's default tier for this call
         (see :mod:`repro.exec.backends`).  Parallel and serial simulation
         paths produce bit-identical results: the simulation is
-        deterministic and ``pool.map`` preserves ordering; the symbolic
-        tier serves only results it can prove bit-identical (unless
-        forced with ``backend="symbolic"``).
+        deterministic and every result is keyed back to its submission
+        index, whatever order workers finish in; the symbolic tier
+        serves only results it can prove bit-identical (unless forced
+        with ``backend="symbolic"``).
 
         When a tracer is active the whole call is one ``exec.sweep`` span
         with an ``exec.job`` child per executed job (worker pid + queue
@@ -317,16 +427,22 @@ class SweepExecutor:
         results: list[SimulationResult | None] = [None] * len(jobs)
         pending: list[tuple[int, str, SimJob]] = []
         fresh_results: list[SimulationResult] = []
+        if self.store is not None and len(jobs) >= SCAN_THRESHOLD:
+            # One batched read; warm sweeps then hit the hot tier only.
+            self.store.scan()
 
         with tracer.span(
             "exec.sweep", cat="exec", jobs=len(jobs), workers=self.workers,
-            backend=chosen,
+            backend=chosen, **({"shard": str(self.shard)} if self.shard else {}),
         ) as sweep:
             for i, job in enumerate(jobs):
                 if not isinstance(job, SimJob):
                     raise ReproError(
                         f"SweepExecutor.run expects SimJobs, got {type(job)!r}"
                     )
+                if self.shard is not None and not self.shard.owns(job):
+                    self._serve_unowned(i, job, chosen, sim_backend, stats, results)
+                    continue
                 if chosen == "model":
                     self._run_model(i, job, stats, results, tracer)
                     continue
@@ -343,6 +459,14 @@ class SweepExecutor:
                         tracer.event("exec.store_hit", cat="exec",
                                      key=key[:12], index=i)
                 else:
+                    if (
+                        chosen == "auto"
+                        and job.max_chunk_refs == DEFAULT_CHUNK_REFS
+                    ):
+                        # Working-set-bounded chunk budget for the sim
+                        # fallback; chunking never changes miss counts,
+                        # and the chunk size is outside the content key.
+                        job = replace(job, max_chunk_refs=auto_chunk_refs(job))
                     pending.append((i, key, job))
                     if tracer.enabled and self.store is not None:
                         tracer.event("exec.store_miss", cat="exec",
@@ -354,21 +478,11 @@ class SweepExecutor:
                 unique: dict[str, tuple[int, SimJob]] = {}
                 for i, key, job in pending:
                     unique.setdefault(key, (i, job))
-                ordered = list(unique.values())
-                nworkers = min(self.workers, len(ordered))
-                outs = None
-                source = "pool"
+                ordered = [(key, i, job) for key, (i, job) in unique.items()]
                 dispatch_ns = time.time_ns()
-                if nworkers > 1:
-                    outs = self._run_pool(
-                        [job for _, job in ordered], nworkers, runner
-                    )
-                if outs is None:
-                    source = "serial"
-                    outs = [runner(job) for _, job in ordered]
-                computed = {key: out for (key, _), out in zip(unique.items(), outs)}
+                computed = self._dispatch_pending(ordered, runner, tracer, stats)
                 for i, key, job in pending:
-                    result, seconds, start_ns, worker_pid = computed[key]
+                    (result, seconds, start_ns, worker_pid), source = computed[key]
                     first = unique[key][0] == i
                     results[i] = result
                     stats.records.append(
@@ -409,6 +523,9 @@ class SweepExecutor:
                     simulated=stats.simulated_jobs,
                     symbolic=stats.symbolic_jobs,
                     sim_seconds=round(stats.sim_seconds, 6),
+                    steals=stats.steals,
+                    queue_peak=stats.queue_depth_peak,
+                    **({"skipped": stats.skipped} if stats.skipped else {}),
                 )
 
         self._publish_metrics(stats, fresh_results)
@@ -438,6 +555,11 @@ class SweepExecutor:
             m.counter("exec.symbolic_jobs").inc(stats.symbolic_jobs)
         if stats.model_jobs:
             m.counter("exec.model_jobs").inc(stats.model_jobs)
+        if stats.steals:
+            m.counter("exec.steals").inc(stats.steals)
+        if stats.skipped:
+            m.counter("exec.shard_skipped").inc(stats.skipped)
+        m.gauge("exec.queue_depth").set(stats.queue_depth_peak)
         m.counter("exec.sim_seconds").inc(stats.sim_seconds)
         m.counter("exec.wall_seconds").inc(stats.wall_seconds)
         if stats.simulated_jobs:
@@ -516,10 +638,15 @@ def run_jobs(
     store: ResultStore | None = None,
     backend: str = "sim",
 ) -> tuple[list[SimulationResult], ExecStats]:
-    """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    ex = SweepExecutor(workers=workers, store=store, backend=backend)
-    results = ex.run(jobs)
-    return results, ex.stats
+    """One-shot convenience wrapper around :class:`SweepExecutor`.
+
+    The executor (and its worker pool) is closed before returning --
+    use a long-lived :class:`SweepExecutor` to amortize pool spin-up
+    across calls.
+    """
+    with SweepExecutor(workers=workers, store=store, backend=backend) as ex:
+        results = ex.run(jobs)
+        return results, ex.stats
 
 
 # -- default store plumbing (library entry points) --------------------------
@@ -548,20 +675,22 @@ def set_default_store(store: ResultStore | str | os.PathLike | None) -> None:
         _default_store = ResultStore(store)
 
 
-def execute_one(job: SimJob, store: ResultStore | None | object = _UNSET) -> SimulationResult:
+def execute_one(
+    job: SimJob,
+    store: ResultStore | None | object = _UNSET,
+    backend: str = "sim",
+) -> SimulationResult:
     """Run one job through the memoization layer (serial, in-process).
 
-    ``store`` defaults to the process-wide store; pass None to force a
-    fresh simulation.
+    Routes through the same tier/key logic as :meth:`SweepExecutor.run`,
+    so a one-off call sees exactly the store entries a sweep would --
+    including, with ``backend="auto"``, results the symbolic tier stored
+    under its own key.  ``store`` defaults to the process-wide store;
+    pass None to force a fresh computation.  The default ``backend="sim"``
+    is byte-identical to the historic behavior (same key, same
+    simulator).
     """
     if store is _UNSET:
         store = get_default_store()
-    if store is not None:
-        key = job.key()
-        cached = store.get(key)
-        if cached is not None:
-            return cached
-    result = job.run()
-    if store is not None:
-        store.put(key, result)
-    return result
+    ex = SweepExecutor(workers=1, store=store, backend=backend)
+    return ex.run([job])[0]

@@ -1,0 +1,205 @@
+"""Deterministic sweep sharding and shard-store / trace merging.
+
+A sweep is a list of independent jobs, so it shards trivially -- the
+only design questions are *which* jobs a shard owns and how the pieces
+fuse back into one artifact.  The answers here:
+
+* **Partition by content key.**  ``ShardSpec(i, n)`` owns job *j* iff
+  ``int(sha256-key-prefix, 16) % n == i - 1`` over the job's
+  backend-independent content key (:meth:`SimJob.key` at the ``sim``
+  tier).  The partition depends only on job *content* -- never on list
+  order, worker count, or the backend tier a run selects -- so any two
+  runs of ``--shard i/N`` over the same sweep agree on ownership, and
+  the N shards exactly tile the sweep.
+* **One store per shard.**  Each shard writes its own
+  :class:`~repro.exec.store.ResultStore` directory;
+  :func:`merge_stores` fuses them into a destination store, verifying
+  that any key present in several shards carries identical payloads
+  (content-addressing makes honest collisions byte-equal; a divergence
+  is corruption and raises).
+* **One trace per run.**  :func:`merge_traces` fuses per-shard JSONL
+  traces into a single file: span ids are re-based per shard so they
+  cannot collide, and metrics lines are summed counter-wise, so a
+  multi-shard run renders as one timeline with one totals block.
+
+The executor consumes :class:`ShardSpec` directly
+(``SweepExecutor(shard="2/4")``): non-owned jobs are still served from
+the store when present but are never *computed*, so a shard's store
+contains exactly its partition and the merged store replays
+byte-identically to the unsharded run (pinned by
+``tests/exec/test_shard.py`` and the CI shard-merge smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.exec.store import ResultStore
+
+__all__ = ["ShardSpec", "parse_shard", "shard_jobs", "merge_stores", "merge_traces"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an N-way sweep partition (1-based, ``i/N`` notation)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ReproError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ReproError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    def owns_key(self, key: str) -> bool:
+        """Deterministic ownership of one content key (hex digest)."""
+        return int(key[:16], 16) % self.count == self.index - 1
+
+    def owns(self, job) -> bool:
+        """Ownership of one job, decided on its backend-independent key.
+
+        The ``sim`` tier key is the partition domain: every backend of
+        the same job then lands in the same shard, so a shard's store is
+        self-contained whatever tier served each job.
+        """
+        return self.owns_key(job.key("sim"))
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(spec: "str | ShardSpec | None") -> ShardSpec | None:
+    """``"i/N"`` -> :class:`ShardSpec` (None passes through)."""
+    if spec is None or isinstance(spec, ShardSpec):
+        return spec
+    try:
+        index_s, count_s = str(spec).split("/", 1)
+        return ShardSpec(int(index_s), int(count_s))
+    except (ValueError, TypeError):
+        raise ReproError(
+            f"shard spec must look like 'i/N' (e.g. '2/4'), got {spec!r}"
+        ) from None
+
+
+def shard_jobs(jobs, spec: "str | ShardSpec") -> list:
+    """The sub-list of ``jobs`` a shard owns (order preserved)."""
+    spec = parse_shard(spec)
+    return [job for job in jobs if spec.owns(job)]
+
+
+def merge_stores(
+    dest: "ResultStore | str", sources, clear_dest: bool = False
+) -> dict[str, int]:
+    """Fuse shard stores into ``dest``; returns merge statistics.
+
+    Every entry of every source is copied into ``dest``
+    (write-through, atomic per entry).  A key present in several
+    sources -- or already in ``dest`` -- must carry an identical
+    payload; differing payloads under one content key mean a corrupt
+    store and raise :class:`~repro.errors.ReproError`.  Returns
+    ``{"merged": fresh entries, "duplicates": byte-equal re-merges,
+    "sources": source count}``.
+    """
+    if not isinstance(dest, ResultStore):
+        dest = ResultStore(dest)
+    if clear_dest:
+        dest.clear()
+    merged = duplicates = 0
+    nsources = 0
+    for source in sources:
+        if not isinstance(source, ResultStore):
+            source = ResultStore(source)
+        nsources += 1
+        for key, result in source.scan().items():
+            existing = dest.peek(key)
+            if existing is not None:
+                if existing != result:
+                    raise ReproError(
+                        f"store merge conflict on key {key[:12]}...: "
+                        f"{existing.summary()!r} vs {result.summary()!r}"
+                    )
+                duplicates += 1
+                continue
+            dest.put(key, result)
+            merged += 1
+    return {"merged": merged, "duplicates": duplicates, "sources": nsources}
+
+
+def _rebase(value, offset: int):
+    return value + offset if isinstance(value, int) else value
+
+
+def merge_traces(dest: "str | pathlib.Path", sources) -> dict[str, int]:
+    """Fuse per-shard JSONL traces into one file at ``dest``.
+
+    Span/event records pass through with their ids (and parent ids)
+    re-based by a per-shard offset so ids from different shard processes
+    cannot collide; every shard's ``metrics`` line is folded into one
+    final line whose counters are summed (gauges last-write-wins,
+    histograms re-aggregated).  Returns ``{"spans": ..., "events": ...,
+    "sources": ...}``.
+    """
+    dest = pathlib.Path(dest)
+    spans = events = 0
+    merged_metrics: dict = {}
+    offset = 0
+    nsources = 0
+    with open(dest, "w") as out:
+        for source in sources:
+            nsources += 1
+            max_id = 0
+            for line in pathlib.Path(source).read_text().splitlines():
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                kind = row.get("type")
+                if kind == "metrics":
+                    _fold_metrics(merged_metrics, row.get("metrics") or {})
+                    continue
+                if kind == "span":
+                    spans += 1
+                elif kind == "event":
+                    events += 1
+                row_id = row.get("id")
+                if isinstance(row_id, int):
+                    max_id = max(max_id, row_id)
+                    row["id"] = row_id + offset
+                row["parent"] = _rebase(row.get("parent"), offset)
+                if row.get("parent") is None:
+                    row["parent"] = None
+                out.write(json.dumps(row, separators=(",", ":")) + "\n")
+            offset += max_id
+        if merged_metrics:
+            out.write(
+                json.dumps({"type": "metrics", "metrics": merged_metrics},
+                           separators=(",", ":")) + "\n"
+            )
+    return {"spans": spans, "events": events, "sources": nsources}
+
+
+def _fold_metrics(into: dict, metrics: dict) -> None:
+    counters = into.setdefault("counters", {})
+    for name, value in (metrics.get("counters") or {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = into.setdefault("gauges", {})
+    gauges.update(metrics.get("gauges") or {})
+    hists = into.setdefault("histograms", {})
+    for name, summ in (metrics.get("histograms") or {}).items():
+        agg = hists.get(name)
+        if agg is None:
+            hists[name] = dict(summ)
+            continue
+        agg["count"] += summ.get("count", 0)
+        agg["total"] += summ.get("total", 0.0)
+        agg["min"] = min(agg.get("min", float("inf")), summ.get("min", float("inf")))
+        agg["max"] = max(agg.get("max", float("-inf")), summ.get("max", float("-inf")))
+        agg["mean"] = agg["total"] / agg["count"] if agg["count"] else 0.0
+    for section in ("counters", "gauges", "histograms"):
+        if not into.get(section):
+            into.pop(section, None)

@@ -25,7 +25,22 @@ the store for a pure recomputation.
 experiment, one per sweep, one per simulation job) plus a metrics
 snapshot; ``--trace-format chrome`` writes a Perfetto/chrome://tracing
 loadable file instead of JSON lines.  ``report --trace PATH`` summarizes
-a recorded trace (top spans by self-time, store hit rate, refs/s).
+a recorded trace (top spans by self-time, store hit rate, worker
+utilization incl. steals and queue depth, refs/s).
+
+Sweeps shard across machines by content key::
+
+    python -m repro.experiments fig9 --shard 1/2 --cache-dir .store-a
+    python -m repro.experiments fig9 --shard 2/2 --cache-dir .store-b
+    python -m repro.experiments merge --stores .store-a .store-b \\
+        --cache-dir .store-merged
+    python -m repro.experiments fig9 --cache-dir .store-merged  # all cached
+
+Each ``--shard i/N`` run computes only its deterministic partition of
+the sweep (no table); ``merge`` fuses the shard stores (and, with
+``--traces``/``--trace``, their trace files); the final unsharded run
+replays entirely from the merged store, byte-identical to a run that
+never sharded.
 """
 
 from __future__ import annotations
@@ -37,7 +52,9 @@ import pathlib
 import sys
 import time
 
+from repro.errors import ReproError
 from repro.exec.executor import SweepExecutor
+from repro.exec.shard import merge_stores, merge_traces, parse_shard
 from repro.exec.store import ENV_CACHE_DIR, ResultStore
 from repro.obs.metrics import diff_counters, format_exec_line, get_metrics
 from repro.obs.report import format_report
@@ -115,8 +132,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report"],
-        help="which artifact to regenerate ('report' summarizes a trace)",
+        choices=sorted(EXPERIMENTS) + ["all", "report", "merge"],
+        help="which artifact to regenerate ('report' summarizes a trace; "
+             "'merge' fuses shard stores/traces)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -163,6 +181,24 @@ def main(argv: list[str] | None = None) -> int:
         help="number of fuzzed programs for ext_fuzz",
     )
     parser.add_argument(
+        "--shard", default=None, metavar="i/N",
+        help="compute only this shard of each experiment's sweep "
+             "(deterministic partition by job content key) and populate "
+             "the store with its results; no table is rendered.  Run "
+             "every shard against its own --cache-dir, fuse them with "
+             "the 'merge' verb, then rerun unsharded against the merged "
+             "store for a fully cached, byte-identical report",
+    )
+    parser.add_argument(
+        "--stores", type=pathlib.Path, nargs="+", default=None, metavar="DIR",
+        help="('merge' only) shard store directories to fuse into "
+             "--cache-dir",
+    )
+    parser.add_argument(
+        "--traces", type=pathlib.Path, nargs="+", default=None, metavar="PATH",
+        help="('merge' only) per-shard trace files to fuse into --trace",
+    )
+    parser.add_argument(
         "--trace", type=pathlib.Path, default=None, metavar="PATH",
         help="record a trace of the run to PATH "
              "(or, with 'report', the trace file to summarize)",
@@ -179,6 +215,35 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.count is not None and args.count < 1:
         parser.error(f"--count must be >= 1, got {args.count}")
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ReproError as exc:
+            parser.error(str(exc))
+        if args.no_cache:
+            parser.error("--shard populates the result store; drop --no-cache")
+    if args.experiment != "merge" and (args.stores or args.traces):
+        parser.error("--stores/--traces only apply to the 'merge' verb")
+
+    if args.experiment == "merge":
+        if not args.stores:
+            parser.error("'merge' needs --stores DIR [DIR ...] to fuse")
+        if args.cache_dir is None:
+            parser.error("'merge' needs --cache-dir DIR as the destination store")
+        if args.no_cache:
+            parser.error("'merge' writes the destination store; drop --no-cache")
+        stats = merge_stores(args.cache_dir, args.stores)
+        print(f"[merge] {stats['merged']} entries merged "
+              f"({stats['duplicates']} byte-equal duplicates) from "
+              f"{stats['sources']} shard stores into {args.cache_dir}")
+        if args.traces:
+            if args.trace is None:
+                parser.error("--traces needs --trace PATH for the merged output")
+            tstats = merge_traces(args.trace, args.traces)
+            print(f"[merge] {tstats['spans']} spans + {tstats['events']} events "
+                  f"fused from {tstats['sources']} traces into {args.trace}")
+        return 0
 
     if args.experiment == "report":
         if args.trace is None:
@@ -194,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_cache:
         store = ResultStore(args.cache_dir or default_cache_dir())
     executor = SweepExecutor(workers=args.workers, store=store,
-                             backend=args.backend)
+                             backend=args.backend, shard=shard)
 
     for name in experiment_names(args.experiment):
         if name in DEPRECATED_ALIASES:
@@ -204,6 +269,29 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         module = EXPERIMENTS[name]
+        if shard is not None:
+            # Populate mode: compute this shard's partition of the
+            # sweep into the store; the table renders later, from the
+            # merged store, byte-identically to an unsharded run.
+            if not hasattr(module, "build_jobs"):
+                print(
+                    f"warning: {name!r} has no static job list; "
+                    f"skipping under --shard",
+                    file=sys.stderr,
+                )
+                continue
+            t0 = time.time()
+            with tracer.span(f"experiment.{name}", cat="experiment",
+                             quick=args.quick, shard=str(shard)):
+                jobs = module.build_jobs(quick=args.quick)
+                executor.run(jobs)
+            stats = executor.stats
+            print(f"==== {name} (shard {shard}, {time.time() - t0:.1f}s) ====")
+            print(f"[exec] {stats.format()}")
+            print(f"[shard] owned {stats.jobs}/{len(jobs)} jobs, "
+                  f"skipped {stats.skipped} (other shards)")
+            print()
+            continue
         # Experiments that simulate accept the executor; table1/timing
         # (inventory and wall-clock measurement) run as before.
         kwargs = {"quick": args.quick}
@@ -244,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(report + "\n")
+    executor.close()
     if args.trace is not None:
         tracer.write(args.trace, format=args.trace_format,
                      metrics=get_metrics().snapshot())

@@ -67,10 +67,15 @@ def simulate_kernel_layout(
     layout: DataLayout,
     hierarchy: HierarchyConfig,
     store=_UNSET,
+    backend: str = "sim",
 ) -> SimulationResult:
-    """Full-program simulation honoring the kernel's custom trace hook."""
+    """Full-program simulation honoring the kernel's custom trace hook.
+
+    ``backend`` routes through the same executor tier/key logic a sweep
+    uses (see :func:`repro.exec.execute_one`).
+    """
     job = SimJob.for_kernel(kernel, program, layout, hierarchy)
-    return execute_one(job, store=store)
+    return execute_one(job, store=store, backend=backend)
 
 
 def run_sweep(

@@ -265,7 +265,11 @@ def random_program(seed: int, config: FuzzConfig | None = None) -> Program:
     # Trip budgeting used rectangular estimates; triangular nests can
     # only be smaller, but fused bodies may push past the cap.  Halve the
     # widest constant-bounded loop of the widest nest until the real
-    # count fits (or no loop is shrinkable).
+    # count fits.  A triangular-heavy nest may have no constant/constant
+    # loop left; then pull a constant *upper* toward its range minimum,
+    # and failing that trim a triangular upper's offset — the fallbacks
+    # only run when the primary rule has nothing to halve, so seeds the
+    # halving already fits keep generating byte-identically.
     guard = 0
     while program.total_refs() > cfg.max_refs and guard < 64:
         guard += 1
@@ -280,13 +284,38 @@ def random_program(seed: int, config: FuzzConfig | None = None) -> Program:
             if lp.lower.is_constant and lp.upper.is_constant
             and lp.upper.constant > lp.lower.constant
         ]
-        if not shrinkable:
-            break
-        _, li = max(shrinkable)
-        lp = nest.loops[li]
-        lo, hi = lp.lower.constant, lp.upper.constant
-        shrunk = Loop(lp.var, lp.lower, const(lo + max(0, (hi - lo) // 2 - 1)),
-                      lp.step)
+        if shrinkable:
+            _, li = max(shrinkable)
+            lp = nest.loops[li]
+            lo, hi = lp.lower.constant, lp.upper.constant
+            shrunk = Loop(lp.var, lp.lower,
+                          const(lo + max(0, (hi - lo) // 2 - 1)), lp.step)
+        else:
+            ranges = _loop_ranges(list(nest.loops))
+            by_range = [
+                (ranges[lp.var][1] - ranges[lp.var][0], li)
+                for li, lp in enumerate(nest.loops)
+                if lp.upper.is_constant
+                and ranges[lp.var][1] > ranges[lp.var][0]
+            ]
+            offsets = [
+                (lp.upper.constant, li)
+                for li, lp in enumerate(nest.loops)
+                if not lp.upper.is_constant and lp.upper.constant > 0
+            ]
+            if by_range:
+                _, li = max(by_range)
+                lp = nest.loops[li]
+                lo, hi = ranges[lp.var][0], lp.upper.constant
+                shrunk = Loop(lp.var, lp.lower,
+                              const(lo + max(0, (hi - lo) // 2 - 1)), lp.step)
+            elif offsets:
+                off, li = max(offsets)
+                lp = nest.loops[li]
+                shrunk = Loop(lp.var, lp.lower, lp.upper - (off - off // 2),
+                              lp.step)
+            else:
+                break
         loops = list(nest.loops)
         loops[li] = shrunk
         program = program.replace_nest(widest, nest.with_loops(tuple(loops)))

@@ -8,7 +8,10 @@ by name, and prints the questions a perf investigation starts from:
   near-zero self-time and the jobs themselves surface;
 * **store behaviour** -- hit rate of the result store across the run;
 * **throughput** -- references simulated per second of simulation time,
-  and worker utilization (summed job time over wall x workers).
+  and worker utilization (summed job time over wall x workers), plus the
+  pool's dispatch behaviour: jobs that ran in workers, steals
+  (out-of-order completions, the signature of dynamic load balancing),
+  and the queue-depth profile sampled at each completion.
 
 The derived lines prefer the metrics snapshot embedded in the trace
 (written by the CLI at exit); spans alone still produce the table.
@@ -140,6 +143,20 @@ def _derived_lines(metrics: dict) -> list[str]:
         lines.append(
             f"worker utilization: {100.0 * util:.0f}% "
             f"(sim {sim_s:.2f}s / wall {wall_s:.2f}s x {workers} workers)"
+        )
+    pooled = counters.get("exec.pool_jobs", 0)
+    if pooled:
+        steals = counters.get("exec.steals", 0)
+        depth = (metrics.get("histograms", {}) or {}).get("exec.queue_depth")
+        depth_s = ""
+        if depth and depth.get("count"):
+            depth_s = (
+                f", queue depth peak {depth['max']:.0f} "
+                f"mean {depth['mean']:.1f}"
+            )
+        lines.append(
+            f"pool dispatch: {pooled} jobs, {steals} steals "
+            f"(out-of-order completions){depth_s}"
         )
     evals = counters.get("search.evals", 0)
     if evals:

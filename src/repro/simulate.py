@@ -33,11 +33,15 @@ def simulate_program(
     hierarchy: HierarchyConfig,
     max_chunk_refs: int = DEFAULT_CHUNK_REFS,
     store=_UNSET,
+    backend: str = "sim",
 ) -> SimulationResult:
     """Trace the whole program under ``layout`` and simulate the hierarchy.
 
     ``store`` overrides the default result store (None disables
-    memoization for this call).
+    memoization for this call); ``backend`` selects the executor tier
+    (``"auto"`` serves the symbolic closed form where provably exact),
+    routed through exactly the same tier/key logic a
+    :class:`~repro.exec.executor.SweepExecutor` sweep uses.
     """
     job = SimJob(
         program=program,
@@ -45,7 +49,7 @@ def simulate_program(
         hierarchy=hierarchy,
         max_chunk_refs=max_chunk_refs,
     )
-    return execute_one(job, store=store)
+    return execute_one(job, store=store, backend=backend)
 
 
 def simulate_nest(
@@ -55,6 +59,7 @@ def simulate_nest(
     hierarchy: HierarchyConfig,
     max_chunk_refs: int = DEFAULT_CHUNK_REFS,
     store=_UNSET,
+    backend: str = "sim",
 ) -> SimulationResult:
     """Simulate a single nest of the program (cold caches)."""
     job = SimJob(
@@ -64,4 +69,4 @@ def simulate_nest(
         nest_index=nest_index,
         max_chunk_refs=max_chunk_refs,
     )
-    return execute_one(job, store=store)
+    return execute_one(job, store=store, backend=backend)

@@ -7,6 +7,7 @@ import pytest
 from repro import DataLayout, ProgramBuilder, ultrasparc_i
 from repro.errors import ReproError
 from repro.exec import executor as executor_module
+from repro.exec import scheduler as scheduler_module
 from repro.exec.executor import (
     SweepExecutor,
     execute_one,
@@ -81,7 +82,7 @@ class TestFallbackAndValidation:
             def __init__(self, *a, **k):
                 raise OSError("no process spawning here")
 
-        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", BrokenPool)
+        monkeypatch.setattr(scheduler_module, "ProcessPoolExecutor", BrokenPool)
         jobs = [job_for(64), job_for(96)]
         ex = SweepExecutor(workers=4)
         results = ex.run(jobs)

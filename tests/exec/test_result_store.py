@@ -226,11 +226,19 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         key = "ef" + "2" * 62
         store.put(key, self.make_result())
+        # The writing instance keeps serving from its hot tier even if
+        # the loose file is clobbered behind its back...
         store.path_for(key).write_text("{not json")
-        assert store.get(key) is None
+        assert store.get(key) == self.make_result()
+        # ...but a fresh instance (a new process) sees the corrupt file
+        # as a miss.  The manifest is a cache of the loose files, so it
+        # must not resurrect the corrupted entry either.
+        fresh = ResultStore(tmp_path)
+        fresh.manifest_path.unlink(missing_ok=True)
+        assert fresh.get(key) is None
         # A wrong-schema payload is also rejected, not mis-parsed.
         store.path_for(key).write_text(json.dumps({"schema": 99}))
-        assert store.get(key) is None
+        assert ResultStore(tmp_path).peek(key) is None
 
     def test_clear(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -247,3 +255,100 @@ class TestResultStore:
         store.put(key, self.make_result())
         store.get(key)
         assert store.hit_rate == 0.5
+
+
+class TestHotTierAndManifest:
+    def make_result(self, misses: int = 120) -> SimulationResult:
+        return SimulationResult(
+            total_refs=1000,
+            levels=(LevelStats(name="L1", accesses=1000, misses=misses),),
+        )
+
+    def test_put_appends_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02d}" + "5" * 62 for i in range(3)]
+        for key in keys:
+            store.put(key, self.make_result())
+        lines = store.manifest_path.read_text().splitlines()
+        assert [json.loads(l)["key"] for l in lines] == keys
+
+    def test_scan_loads_everything_in_one_pass(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02d}" + "6" * 62 for i in range(4)]
+        for key in keys:
+            store.put(key, self.make_result())
+        fresh = ResultStore(tmp_path)
+        entries = fresh.scan()
+        assert set(entries) == set(keys)
+        # Every later get is a hot-tier hit; clobbering the loose files
+        # proves the filesystem is not consulted again.
+        for key in keys:
+            fresh.path_for(key).write_text("{clobbered")
+        for key in keys:
+            assert fresh.get(key) == self.make_result()
+        assert fresh.hits == len(keys)
+
+    def test_scan_reconciles_missing_manifest_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        known = "aa" + "7" * 62
+        store.put(known, self.make_result())
+        # A file the manifest never saw (another process, torn append).
+        orphan = "bb" + "7" * 62
+        sneaky = ResultStore(tmp_path)
+        sneaky.put(orphan, self.make_result(misses=7))
+        store.manifest_path.write_text(
+            store.manifest_path.read_text().splitlines()[0] + "\n"
+        )
+        fresh = ResultStore(tmp_path)
+        entries = fresh.scan()
+        assert set(entries) == {known, orphan}
+        # ...and the manifest was rebuilt to cover both.
+        rebuilt = ResultStore(tmp_path)
+        assert set(rebuilt._read_manifest()) == {known, orphan}
+
+    def test_scan_drops_stale_manifest_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kept = "cc" + "8" * 62
+        gone = "dd" + "8" * 62
+        store.put(kept, self.make_result())
+        store.put(gone, self.make_result())
+        store.path_for(gone).unlink()
+        fresh = ResultStore(tmp_path)
+        assert set(fresh.scan()) == {kept}
+
+    def test_scan_is_cached_until_refresh(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = "ee" + "9" * 62
+        store.put(first, self.make_result())
+        reader = ResultStore(tmp_path)
+        assert set(reader.scan()) == {first}
+        late = "ff" + "9" * 62
+        store.put(late, self.make_result())
+        assert set(reader.scan()) == {first}, "cached scan must not re-read"
+        assert set(reader.scan(refresh=True)) == {first, late}
+
+    def test_malformed_manifest_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "a" * 62
+        store.put(key, self.make_result())
+        with open(store.manifest_path, "a") as f:
+            f.write("{torn line\n")
+        fresh = ResultStore(tmp_path)
+        assert set(fresh.scan()) == {key}
+
+    def test_clear_removes_manifest_and_hot_tier(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "b" * 62
+        store.put(key, self.make_result())
+        store.clear()
+        assert not store.manifest_path.exists()
+        assert store.get(key) is None
+
+    def test_merge_from_copies_everything(self, tmp_path):
+        src = ResultStore(tmp_path / "src")
+        keys = [f"{i:02d}" + "c" * 62 for i in range(3)]
+        for key in keys:
+            src.put(key, self.make_result())
+        dest = ResultStore(tmp_path / "dest")
+        assert dest.merge_from(src) == 3
+        assert set(dest.scan()) == set(keys)

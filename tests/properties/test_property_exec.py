@@ -1,0 +1,118 @@
+"""Determinism properties of the work-stealing executor.
+
+Whatever the worker count, submission order, pool reuse pattern, or
+shard partition, the executor must hand back results byte-identical to
+the plain serial path -- the scheduler is allowed to change *when* work
+happens, never *what* comes back.
+
+Pools are expensive to spin up, so each worker count keeps one
+persistent executor across all hypothesis examples -- which is itself
+the feature under test.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.executor import SweepExecutor
+from repro.exec.shard import ShardSpec, merge_stores
+from repro.exec.store import ResultStore
+from tests.exec.test_executor import job_for
+
+_SIZES = (64, 72, 80, 88, 96, 104)
+_JOBS = None
+_SERIAL = None
+_EXECUTORS: dict[int, SweepExecutor] = {}
+
+
+def _fixture():
+    """Jobs + serial reference, built once (module import stays cheap)."""
+    global _JOBS, _SERIAL
+    if _JOBS is None:
+        _JOBS = [job_for(n) for n in _SIZES]
+        _SERIAL = [
+            pickle.dumps(r) for r in SweepExecutor(workers=1).run(_JOBS)
+        ]
+    return _JOBS, _SERIAL
+
+
+def _executor(workers: int) -> SweepExecutor:
+    ex = _EXECUTORS.get(workers)
+    if ex is None:
+        ex = _EXECUTORS[workers] = SweepExecutor(workers=workers)
+    return ex
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_pools():
+    yield
+    for ex in _EXECUTORS.values():
+        ex.close()
+    _EXECUTORS.clear()
+
+
+class TestDispatchDeterminism:
+    @given(
+        perm=st.permutations(range(len(_SIZES))),
+        workers=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_order_any_workers_matches_serial(self, perm, workers):
+        """Results follow their jobs through any permutation and any
+        pool size, byte for byte."""
+        jobs, serial = _fixture()
+        shuffled = [jobs[i] for i in perm]
+        results = _executor(workers).run(shuffled)
+        for original_index, result in zip(perm, results):
+            assert pickle.dumps(result) == serial[original_index]
+
+    @given(
+        rounds=st.lists(
+            st.lists(st.integers(0, len(_SIZES) - 1), min_size=1, max_size=4),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_pool_reuse_across_runs_matches_fresh_pools(self, rounds):
+        """A persistent pool serving several run() calls returns exactly
+        what per-run fresh pools would."""
+        jobs, serial = _fixture()
+        persistent = _executor(2)
+        for round_indices in rounds:
+            round_jobs = [jobs[i] for i in round_indices]
+            results = persistent.run(round_jobs)
+            for i, result in zip(round_indices, results):
+                assert pickle.dumps(result) == serial[i]
+
+
+class TestShardDeterminism:
+    @given(count=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_any_partition_merges_to_serial(self, count):
+        """For any N: shards tile the sweep, and the merged shard stores
+        replay the whole sweep byte-identically, fully cached."""
+        jobs, serial = _fixture()
+        for job in jobs:
+            owners = sum(
+                ShardSpec(i, count).owns(job) for i in range(1, count + 1)
+            )
+            assert owners == 1
+        with tempfile.TemporaryDirectory() as td:
+            stores = []
+            for i in range(1, count + 1):
+                store = ResultStore(f"{td}/shard{i}")
+                SweepExecutor(workers=1, store=store,
+                              shard=ShardSpec(i, count)).run(jobs)
+                stores.append(store)
+            merged = ResultStore(f"{td}/merged")
+            merge_stores(merged, stores)
+            replay_ex = SweepExecutor(workers=1, store=merged)
+            replay = replay_ex.run(jobs)
+            assert replay_ex.stats.hit_rate == 1.0
+            assert [pickle.dumps(r) for r in replay] == serial

@@ -223,6 +223,17 @@ class TestSymbolicExports:
             assert name in repro.exec.__all__
             assert getattr(repro.exec, name) is not None
 
+    def test_exec_exports_scheduler_and_shard_surface(self):
+        import repro.exec
+
+        for name in (
+            "WorkerPool", "ShardSpec", "parse_shard", "shard_jobs",
+            "merge_stores", "merge_traces", "job_cost", "estimate_job_refs",
+            "auto_chunk_refs",
+        ):
+            assert name in repro.exec.__all__
+            assert getattr(repro.exec, name) is not None
+
 
 class TestCacheSimulatorExports:
     """Both k-way simulators (oracle and vectorized) are package API."""
