@@ -14,9 +14,12 @@ Benchmarks in the ``assoc`` group (the k-way simulator throughput suite,
 to ``BENCH_symbolic.json`` (``$REPRO_BENCH_SYMBOLIC_JSON``), and
 benchmarks in the ``exec`` group (the sweep-scheduler suite,
 ``test_bench_exec.py``) to ``BENCH_exec.json``
-(``$REPRO_BENCH_EXEC_JSON``), so simulator-throughput, symbolic-tier,
-scheduler, and search-subsystem history stay independently diffable;
-all files are uploaded as CI artifacts per run.
+(``$REPRO_BENCH_EXEC_JSON``), and benchmarks in the ``service`` group
+(the tuning-service request path, ``test_bench_service.py``) to
+``BENCH_service.json`` (``$REPRO_BENCH_SERVICE_JSON``), so
+simulator-throughput, symbolic-tier, scheduler, service, and
+search-subsystem history stay independently diffable; all files are
+uploaded as CI artifacts per run.
 
 The file holds a list of session records, newest last::
 
@@ -54,11 +57,13 @@ ENV_BENCH_JSON = "REPRO_BENCH_JSON"
 ENV_BENCH_ASSOC_JSON = "REPRO_BENCH_ASSOC_JSON"
 ENV_BENCH_SYMBOLIC_JSON = "REPRO_BENCH_SYMBOLIC_JSON"
 ENV_BENCH_EXEC_JSON = "REPRO_BENCH_EXEC_JSON"
+ENV_BENCH_SERVICE_JSON = "REPRO_BENCH_SERVICE_JSON"
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_PATH = _ROOT / "BENCH_search.json"
 DEFAULT_ASSOC_PATH = _ROOT / "BENCH_assoc.json"
 DEFAULT_SYMBOLIC_PATH = _ROOT / "BENCH_symbolic.json"
 DEFAULT_EXEC_PATH = _ROOT / "BENCH_exec.json"
+DEFAULT_SERVICE_PATH = _ROOT / "BENCH_service.json"
 
 #: Benchmark groups routed to ``BENCH_assoc.json`` instead of the default.
 ASSOC_GROUPS = {"assoc"}
@@ -71,6 +76,11 @@ SYMBOLIC_GROUPS = {"symbolic"}
 #: scheduler/store suite: cold vs warm sweeps, worker scaling, pool
 #: reuse).
 EXEC_GROUPS = {"exec"}
+
+#: Benchmark groups routed to ``BENCH_service.json`` (the tuning
+#: service's request-path suite: cold vs warm request latency and
+#: throughput under concurrent clients).
+SERVICE_GROUPS = {"service"}
 
 #: Values of $REPRO_BENCH_JSON that turn recording off entirely.
 _DISABLED = {"0", "off", "none", ""}
@@ -160,6 +170,22 @@ def exec_output_path() -> pathlib.Path | None:
     return DEFAULT_EXEC_PATH
 
 
+def service_output_path() -> pathlib.Path | None:
+    """Where ``service``-group rows go, or ``None`` when disabled.
+
+    Mirrors :func:`assoc_output_path`: ``$REPRO_BENCH_SERVICE_JSON``
+    overrides the path, ``$REPRO_BENCH_JSON=off`` disables both.
+    """
+    env = os.environ.get(ENV_BENCH_SERVICE_JSON)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return pathlib.Path(env)
+    if output_path() is None:
+        return None
+    return DEFAULT_SERVICE_PATH
+
+
 def summarize(benchmarks) -> list[dict[str, Any]]:
     """Per-benchmark timing summaries from pytest-benchmark's records."""
     rows = []
@@ -233,7 +259,8 @@ def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
     assoc = [r for r in rows if r.get("group") in ASSOC_GROUPS]
     symbolic = [r for r in rows if r.get("group") in SYMBOLIC_GROUPS]
     execrows = [r for r in rows if r.get("group") in EXEC_GROUPS]
-    routed = ASSOC_GROUPS | SYMBOLIC_GROUPS | EXEC_GROUPS
+    servicerows = [r for r in rows if r.get("group") in SERVICE_GROUPS]
+    routed = ASSOC_GROUPS | SYMBOLIC_GROUPS | EXEC_GROUPS | SERVICE_GROUPS
     rest = [r for r in rows if r.get("group") not in routed]
     written = []
     for bucket, path in (
@@ -241,6 +268,7 @@ def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
         (assoc, assoc_output_path()),
         (symbolic, symbolic_output_path()),
         (execrows, exec_output_path()),
+        (servicerows, service_output_path()),
     ):
         if bucket and path is not None:
             out = append_session(bucket, path)

@@ -1,0 +1,129 @@
+"""Benchmark: the tuning service's request path, over real sockets.
+
+Every benchmark carries ``group="service"`` so the recorder routes its
+rows to ``BENCH_service.json``.  Two questions, with the numbers
+attached as ``extra_info``:
+
+* how much does the **persistent response store** buy a repeat request
+  -- warm (store-served) latency vs the cold request that computed the
+  answer, recorded as ``warm_vs_cold_speedup`` and asserted >= 50x
+  (the store replay skips optimization, search, and simulation, so
+  anything less means the warm path regressed);
+* what **request throughput** concurrent clients see against one server
+  when the working set is warm -- recorded as ``rps``.
+
+The server is forced onto ``backend="sim"`` so the cold request pays
+honest simulation cost rather than the symbolic tier's shortcut; the
+warm path is backend-independent by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service.client import TuningClient
+from repro.service.server import ServiceConfig, TuningService
+
+pytestmark = pytest.mark.benchmark(group="service")
+
+COLD_REQUEST = {"kernel": "jacobi", "n": 160, "budget": 8, "max_lines": 2}
+#: Distinct warm keys the throughput clients rotate over.
+WARM_SET = [dict(COLD_REQUEST, seed=s) for s in range(4)]
+
+
+class ServiceHarness:
+    """A live server on an ephemeral port, event loop on a daemon thread."""
+
+    def __init__(self, store_dir: str):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        self.service = asyncio.run_coroutine_threadsafe(
+            self._start(store_dir), self.loop
+        ).result(timeout=30)
+        self.client = TuningClient(port=self.service.port, timeout=120.0)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    async def _start(self, store_dir: str) -> TuningService:
+        service = TuningService(ServiceConfig(
+            store_dir=store_dir, port=0, concurrency=2, queue_limit=16,
+            backend="sim",
+        ))
+        await service.start()
+        return service
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop
+        ).result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    h = ServiceHarness(str(tmp_path_factory.mktemp("service-bench")))
+    yield h
+    h.close()
+
+
+def test_bench_service_warm_vs_cold(benchmark, harness):
+    """Warm (store-served) latency vs the cold computation, same key."""
+    t0 = time.perf_counter()
+    status, cold = harness.client.tune(COLD_REQUEST)
+    cold_s = time.perf_counter() - t0
+    assert status == 200 and cold["served"] == "computed"
+
+    def warm():
+        status, payload = harness.client.tune(COLD_REQUEST)
+        assert status == 200 and payload["served"] == "store"
+
+    benchmark.pedantic(warm, rounds=20, iterations=1, warmup_rounds=2)
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    warm_s = stats.mean
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 6)
+    benchmark.extra_info["warm_s"] = round(warm_s, 6)
+    benchmark.extra_info["warm_vs_cold_speedup"] = round(speedup, 1)
+    assert speedup >= 50.0, (
+        f"store-served request only {speedup:.1f}x faster than computing "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.4f}s)"
+    )
+
+
+def test_bench_service_warm_throughput_concurrent(benchmark, harness):
+    """Requests/second from 4 concurrent clients over a warm working set."""
+    for request in WARM_SET:  # make every key warm first
+        status, payload = harness.client.tune(request)
+        assert status == 200
+
+    clients = [TuningClient(port=harness.service.port, timeout=120.0)
+               for _ in range(4)]
+    per_client = 10
+
+    def storm() -> None:
+        def one(client):
+            for k in range(per_client):
+                status, payload = client.tune(WARM_SET[k % len(WARM_SET)])
+                assert status == 200 and payload["served"] == "store"
+
+        threads = [threading.Thread(target=one, args=(c,)) for c in clients]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    benchmark.pedantic(storm, rounds=3, iterations=1, warmup_rounds=1)
+    stats = getattr(benchmark.stats, "stats", benchmark.stats)
+    total = len(clients) * per_client
+    rps = total / stats.mean
+    benchmark.extra_info["requests"] = total
+    benchmark.extra_info["rps"] = round(rps, 1)
+    assert rps > 20.0, f"warm request throughput collapsed: {rps:.1f} rps"

@@ -120,6 +120,12 @@ from repro.search import (
     pad_tile_space,
     tile_space,
 )
+from repro.service import (
+    ServiceConfig,
+    TuningClient,
+    TuningRequest,
+    TuningService,
+)
 from repro.errors import (
     AnalysisError,
     ConfigError,
@@ -195,6 +201,11 @@ __all__ = [
     "spearman",
     # symbolic (trace-free exact) miss counting
     "SymbolicStats",
+    # tuning service
+    "ServiceConfig",
+    "TuningClient",
+    "TuningRequest",
+    "TuningService",
     "classify_job",
     "analyze_job",
     # observability

@@ -82,13 +82,20 @@ SCAN_THRESHOLD = 32
 
 @dataclass(frozen=True)
 class JobRecord:
-    """Provenance of one executed job."""
+    """Provenance of one executed job.
+
+    ``span_id`` is the trace id of the ``exec.job`` span that computed
+    this result (None when tracing is off or the job was store-served),
+    so downstream layers -- the autotuner's ``search.best`` events, the
+    tuning service's provenance -- can link back to the evidence.
+    """
 
     index: int
     key: str
     seconds: float
     source: str  # "cache" | "serial" | "pool" | "symbolic" | "model"
     tag: tuple = ()
+    span_id: int | None = None
 
 
 @dataclass
@@ -318,9 +325,9 @@ class SweepExecutor:
             if self.store is not None:
                 self.store.put(key, result)
         results[i] = result
-        stats.records.append(JobRecord(i, key, seconds, "symbolic", job.tag))
+        sid = None
         if tracer.enabled:
-            tracer.add_span(
+            sid = tracer.add_span(
                 "exec.job",
                 start_ns=start_ns,
                 dur_ns=int(seconds * 1e9),
@@ -332,6 +339,9 @@ class SweepExecutor:
                 exact=exact,
                 refs=result.total_refs,
             )
+        stats.records.append(
+            JobRecord(i, key, seconds, "symbolic", job.tag, span_id=sid)
+        )
         return True
 
     def _serve_unowned(self, i, job, chosen, sim_backend, stats, results) -> None:
@@ -481,14 +491,11 @@ class SweepExecutor:
                 ordered = [(key, i, job) for key, (i, job) in unique.items()]
                 dispatch_ns = time.time_ns()
                 computed = self._dispatch_pending(ordered, runner, tracer, stats)
+                job_spans: dict[str, int] = {}
                 for i, key, job in pending:
                     (result, seconds, start_ns, worker_pid), source = computed[key]
                     first = unique[key][0] == i
                     results[i] = result
-                    stats.records.append(
-                        JobRecord(i, key, seconds if first else 0.0,
-                                  source if first else "cache", job.tag)
-                    )
                     if first:
                         fresh_results.append(result)
                         if self.store is not None:
@@ -498,7 +505,7 @@ class SweepExecutor:
                                 {"tag": "/".join(map(str, job.tag))}
                                 if job.tag else {}
                             )
-                            tracer.add_span(
+                            job_spans[key] = tracer.add_span(
                                 "exec.job",
                                 start_ns=start_ns,
                                 dur_ns=int(seconds * 1e9),
@@ -514,6 +521,11 @@ class SweepExecutor:
                                 ),
                                 **extra,
                             )
+                    stats.records.append(
+                        JobRecord(i, key, seconds if first else 0.0,
+                                  source if first else "cache", job.tag,
+                                  span_id=job_spans.get(key))
+                    )
 
             stats.records.sort(key=lambda r: r.index)
             stats.wall_seconds = time.perf_counter() - t0

@@ -26,6 +26,18 @@ Invalidation is purely content-based -- there is nothing to expire.  Any
 change to the program IR, the layout, the cache geometry, or the trace
 mode produces a different key; bumping
 :data:`repro.exec.hashing.SCHEMA_VERSION` orphans every old entry at once.
+
+**Concurrency contract.**  Any number of processes (the long-running
+tuning service, CLI sweeps, shard runs) may share one store directory:
+
+* loose-file writes are write-temp-then-rename, so readers never see a
+  partial entry and same-key racers simply overwrite with identical
+  content;
+* manifest appends are one ``os.write`` on an ``O_APPEND`` fd, so
+  concurrent appenders land whole lines;
+* a manifest rewrite racing an append can drop the appended line -- the
+  loose files stay the source of truth and the next :meth:`scan`
+  reconciles, re-reading anything the manifest missed.
 """
 
 from __future__ import annotations
@@ -162,10 +174,20 @@ class ResultStore:
         self.puts += 1
 
     def _append_manifest(self, key: str, payload: dict) -> None:
+        # One os.write on an O_APPEND fd: concurrent writers (the tuning
+        # service and a CLI sweep sharing one store dir) each land a
+        # whole line, never an interleaved one.  POSIX guarantees the
+        # atomicity for appends of this size; a torn line on an exotic
+        # filesystem is still tolerated by _read_manifest/scan.
         line = json.dumps({"key": key, **payload}, separators=(",", ":"))
         try:
-            with open(self.manifest_path, "a") as f:
-                f.write(line + "\n")
+            fd = os.open(
+                self.manifest_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                os.write(fd, (line + "\n").encode("utf-8"))
+            finally:
+                os.close(fd)
         except OSError:
             pass  # manifest is a cache; scan() rebuilds it from loose files
 

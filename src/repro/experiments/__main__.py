@@ -14,6 +14,12 @@ Usage::
     python -m repro.experiments fig9 --backend sim         # force pure simulation
     python -m repro.experiments assoc_claim --quick        # Section 1 claim check
     python -m repro.experiments all --quick --out results/
+    python -m repro.experiments serve --port 8077          # tuning service
+
+The ``serve`` verb starts the long-running tuning server of
+:mod:`repro.service` (its flags are documented there and in
+``docs/service.md``); every other verb regenerates an artifact and
+exits.
 
 Simulations fan out across ``--workers`` processes and are memoized in an
 on-disk result store (``--cache-dir``, default ``~/.cache/repro-sim`` or
@@ -126,6 +132,15 @@ def default_cache_dir() -> pathlib.Path:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The tuning service has its own long-running flag surface;
+        # forward to it rather than threading a second mode through the
+        # experiment parser.  See docs/service.md.
+        from repro.service.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",

@@ -216,15 +216,21 @@ class Tracer:
         pid: int | None = None,
         tid: int | None = None,
         **attrs,
-    ) -> None:
+    ) -> int:
         """Synthesize a completed span observed elsewhere (worker processes).
 
         The span parents under the caller's *current* span, so pool jobs
         nest below the sweep that dispatched them even though they ran in
         another process; pass the worker's pid as ``tid`` to give each
-        worker its own lane in trace viewers.
+        worker its own lane in trace viewers.  Returns the new span's id
+        so callers can link later events back to it (the executor keeps
+        the id of every ``exec.job`` span, and the autotuner's
+        ``search.best`` events carry it as ``exec_span`` -- a served
+        recommendation's trace walks back to the simulation that
+        produced it).
         """
         stack = self._stack()
+        span_id = self._next_id()
         self._record(
             Span(
                 name=name,
@@ -233,11 +239,12 @@ class Tracer:
                 dur_ns=dur_ns,
                 pid=pid if pid is not None else os.getpid(),
                 tid=tid if tid is not None else threading.get_ident(),
-                span_id=self._next_id(),
+                span_id=span_id,
                 parent_id=stack[-1] if stack else None,
                 args=attrs,
             )
         )
+        return span_id
 
     def current_span_id(self) -> int | None:
         """The innermost live span's id in this thread, or None."""
@@ -321,7 +328,7 @@ class NullTracer:
         return None
 
     def add_span(self, *args, **kwargs) -> None:
-        return None
+        return None  # no span exists, so there is no id to link to
 
     def current_span_id(self) -> None:
         return None

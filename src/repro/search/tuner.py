@@ -103,16 +103,21 @@ class Autotuner:
             "best": None, "best_config": None,
         }
 
-        def record(config: Config, value: float) -> None:
+        def record(config: Config, value: float,
+                   span_id: int | None = None) -> None:
             if state["best"] is None or value < state["best"]:
                 state["best"] = value
                 state["best_config"] = config
                 trajectory.append((state["evals"], value))
                 # Objective improvements as instant events: the search
                 # trajectory falls straight out of any recorded trace.
+                # ``exec_span`` links the event to the ``exec.job`` span
+                # that simulated this config, so a recommendation's trace
+                # walks back to its evidence.
                 if tracer.enabled:
+                    extra = {"exec_span": span_id} if span_id is not None else {}
                     tracer.event("search.best", cat="search",
-                                 value=value, evals=state["evals"])
+                                 value=value, evals=state["evals"], **extra)
 
         def evaluate(configs: Sequence[Config]) -> list[float]:
             cfgs = [space.validate(c) for c in configs]
@@ -146,11 +151,14 @@ class Autotuner:
                 state["wall_seconds"] += stats.wall_seconds
                 metrics.counter("search.evals").inc(len(fresh))
                 metrics.counter("search.store_hits").inc(stats.cache_hits)
-                for c, job, result in zip(fresh, jobs, results):
+                # records are index-sorted, one per job, so records[k]
+                # is the provenance (incl. exec.job span id) of jobs[k].
+                spans = [r.span_id for r in stats.records]
+                for k, (c, job, result) in enumerate(zip(fresh, jobs, results)):
                     value = objective(result, job.hierarchy)
                     memo[c] = value
                     state["evals"] += 1
-                    record(c, value)
+                    record(c, value, span_id=spans[k] if k < len(spans) else None)
             if truncated:
                 raise _BudgetExhausted
             return [memo[c] for c in cfgs]

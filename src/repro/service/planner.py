@@ -1,0 +1,123 @@
+"""Request planning: canonical keys, the response store, warm-vs-cold.
+
+The planner sits between the HTTP front end and the tuning pipeline.
+It owns two decisions:
+
+* **identity** -- every request is parsed and reduced to its
+  content-addressed tuning key (:func:`repro.service.protocol.request_key`),
+  so textually different but semantically identical requests are the
+  same unit of work;
+* **temperature** -- a key whose response is already in the persistent
+  :class:`TuningStore` is *warm* and answered without touching the
+  queue; everything else is cold work for the pipeline.
+
+:class:`TuningStore` mirrors the executor's
+:class:`~repro.exec.store.ResultStore` discipline one level up: loose
+JSON files sharded by key prefix, write-temp-then-rename atomicity (so
+service restarts and concurrent instances sharing a directory are
+safe), and a hot in-memory tier for repeat lookups.  It deliberately
+stores whole *responses*: a warm hit skips not just simulation but the
+entire optimization + search pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.service.protocol import (
+    SERVICE_SCHEMA,
+    TuningRequest,
+    parse_request,
+    request_key,
+)
+
+__all__ = ["TuningStore", "RequestPlanner"]
+
+TUNINGS_DIRNAME = "tunings"
+
+
+class TuningStore:
+    """Content-addressed persistence of full tuning responses."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._hot: dict[str, dict] = {}
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored response for ``key``, or None (counts hit/miss)."""
+        payload = self._hot.get(key)
+        if payload is None:
+            try:
+                payload = json.loads(self.path_for(key).read_text())
+            except (OSError, ValueError):
+                payload = None
+            if payload is not None and payload.get("schema") != SERVICE_SCHEMA:
+                payload = None  # orphaned by a schema bump
+            if payload is not None:
+                self._hot[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(payload)
+
+    def put(self, key: str, payload: dict) -> None:
+        """Persist one response atomically (temp file + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(payload, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._hot[key] = dict(payload)
+        self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._hot or self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"TuningStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, puts={self.puts})"
+        )
+
+
+class RequestPlanner:
+    """Parse requests into keyed work and decide warm vs cold."""
+
+    def __init__(self, store: TuningStore):
+        self.store = store
+
+    def plan(self, payload) -> tuple[str, TuningRequest]:
+        """Canonicalize one request payload; raises ProtocolError on junk."""
+        req = parse_request(payload)
+        return request_key(req), req
+
+    def lookup(self, key: str) -> dict | None:
+        """The stored response when the key is warm, else None."""
+        return self.store.get(key)
+
+    def complete(self, key: str, payload: dict) -> None:
+        """Record a computed response so future requests are warm."""
+        self.store.put(key, payload)

@@ -1,0 +1,128 @@
+"""Bounded, cost-ordered admission of cold tuning work.
+
+The server admits a cold request only when there is room: the queue
+depth (queued + running) is capped, and an over-capacity or draining
+server refuses *explicitly* -- :class:`ServiceSaturated` maps to HTTP
+429 and :class:`ServiceDraining` to 503 -- rather than letting latency
+grow without bound.  Admitted work drains cheapest-first: each request
+is priced with :func:`repro.exec.cost.estimate_job_refs` on its
+un-optimized program (scaled by the search budget, since a search
+multiplies the simulation count), so a queue holding one huge sweep and
+several small kernel requests answers the small ones first.  That is
+the service-latency complement of the executor's own longest-first
+dispatch inside a batch: across requests, shortest-job-first minimizes
+mean wait; within one request's batch, longest-first minimizes
+makespan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.exec.cost import estimate_job_refs
+from repro.exec.jobs import SimJob
+from repro.layout.layout import DataLayout
+from repro.service.protocol import TuningRequest
+
+__all__ = ["ServiceSaturated", "ServiceDraining", "TuningQueue", "estimate_cost"]
+
+
+class ServiceSaturated(ReproError):
+    """The admission queue is full; retry later (HTTP 429)."""
+
+    status = 429
+
+
+class ServiceDraining(ReproError):
+    """The server is shutting down and accepts no new work (HTTP 503)."""
+
+    status = 503
+
+
+def estimate_cost(req: TuningRequest) -> float:
+    """Cheap relative price of one request, for shortest-job-first order.
+
+    One simulation's cost scales with the reference count of the
+    program; a search multiplies that by (roughly) the evaluation
+    budget.  Precision does not matter -- only the ordering of queued
+    requests does.
+    """
+    job = SimJob(
+        program=req.program,
+        layout=DataLayout.sequential(req.program),
+        hierarchy=req.hierarchy,
+        kernel=req.kernel,
+    )
+    evals = 1 + (req.budget if req.search != "none" else 0)
+    return float(estimate_job_refs(job)) * evals
+
+
+@dataclass(order=True)
+class _Admitted:
+    """One queued unit of work, ordered by (cost, arrival)."""
+
+    cost: float
+    seq: int
+    key: str = field(compare=False)
+    request: TuningRequest = field(compare=False)
+    future: Any = field(compare=False)
+
+
+class TuningQueue:
+    """A depth-bounded priority queue of admitted cold requests.
+
+    ``depth`` counts queued *plus* running work, so the bound covers the
+    whole pipeline backlog, not just the waiting room.  Admission is
+    synchronous (the event loop is single-threaded); draining is
+    cooperative via :meth:`get`/:meth:`done`.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ReproError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count()
+        self.depth = 0
+        self.draining = False
+
+    def admit(self, key: str, request: TuningRequest, future) -> None:
+        """Enqueue cold work or refuse with an explicit status."""
+        if self.draining:
+            raise ServiceDraining("server is draining; no new work accepted")
+        if self.depth >= self.limit:
+            raise ServiceSaturated(
+                f"tuning queue is full ({self.depth}/{self.limit}); retry later"
+            )
+        self.depth += 1
+        self._queue.put_nowait(
+            _Admitted(
+                cost=estimate_cost(request),
+                seq=next(self._seq),
+                key=key,
+                request=request,
+                future=future,
+            )
+        )
+
+    async def get(self) -> _Admitted | None:
+        """Next cheapest admitted item, or None when told to stop."""
+        item = await self._queue.get()
+        return None if item.key == "" else item
+
+    def done(self) -> None:
+        """A worker finished (successfully or not) one admitted item."""
+        self.depth -= 1
+
+    def stop(self, workers: int) -> None:
+        """Wake every worker with a stop sentinel (drains after real work)."""
+        self.draining = True
+        for _ in range(workers):
+            self._queue.put_nowait(
+                _Admitted(cost=float("inf"), seq=next(self._seq),
+                          key="", request=None, future=None)
+            )

@@ -106,6 +106,35 @@ class TestSearchEvents:
             s.parent_id == run_span.span_id for s in rounds
         )
 
+    def test_search_best_links_to_exec_job_span(self):
+        prog = small_program(64)
+        space = pad_space(prog, DataLayout.sequential(prog), ultrasparc_i(),
+                          max_lines=3)
+        tracer = start_tracing()
+        Autotuner().search(space, strategy="exhaustive")
+        stop_tracing()
+        spans = tracer.spans()
+        job_span_ids = {s.span_id for s in spans if s.name == "exec.job"}
+        best_events = [s for s in spans if s.name == "search.best"]
+        assert best_events
+        # Every improvement links back to the simulation that produced it
+        # (fresh cold-store search: every evaluation is a real exec.job).
+        for e in best_events:
+            assert e.args["exec_span"] in job_span_ids
+
+    def test_search_best_link_survives_pool_execution(self, tmp_path):
+        prog = small_program(64)
+        space = pad_space(prog, DataLayout.sequential(prog), ultrasparc_i(),
+                          max_lines=3)
+        tracer = start_tracing()
+        with SweepExecutor(workers=2, store=ResultStore(tmp_path)) as ex:
+            Autotuner(executor=ex).search(space, strategy="exhaustive")
+        stop_tracing()
+        spans = tracer.spans()
+        job_span_ids = {s.span_id for s in spans if s.name == "exec.job"}
+        for e in (s for s in spans if s.name == "search.best"):
+            assert e.args["exec_span"] in job_span_ids
+
 
 class TestCLITrace:
     def test_trace_flag_writes_valid_jsonl_with_experiment_root(

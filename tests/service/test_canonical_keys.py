@@ -1,0 +1,113 @@
+"""Property: semantically identical requests collapse to one tuning key.
+
+The satellite guarantee of the service: two *textually different* JSON
+requests that ask the same question -- shuffled key order, explicitly
+spelled defaults, a preset hierarchy vs its explicit level list,
+equivalent affine wire spellings -- must map to the same tuning key
+(and are therefore served by one computation; the server-level half of
+that claim is pinned in ``test_server.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    hierarchy_to_json,
+    parse_request,
+    program_to_json,
+    request_key,
+)
+from tests.service.test_protocol import tiny_program
+
+BASE = {
+    "kernel": "jacobi",
+    "n": 32,
+    "hierarchy": "ultrasparc_i",
+    "strategy": "L1&L2",
+    "search": "coordinate",
+    "budget": 16,
+    "max_lines": 4,
+    "seed": 0,
+}
+
+# Fields whose BASE value is exactly the parse-time default, so omitting
+# them must not move the key.
+DEFAULTED = ("hierarchy", "strategy", "search", "budget", "max_lines", "seed")
+
+
+def shuffled(payload: dict, order: list) -> dict:
+    """The same payload with a different (textual) key order."""
+    keys = sorted(payload, key=lambda k: order[sorted(payload).index(k)])
+    return {k: payload[k] for k in keys}
+
+
+@st.composite
+def equivalent_spellings(draw):
+    """One textually varied spelling of the BASE request."""
+    payload = dict(BASE)
+    # Drop a random subset of explicitly-defaulted fields.
+    for field in DEFAULTED:
+        if draw(st.booleans()):
+            del payload[field]
+    # Preset name vs the equivalent explicit hierarchy object.
+    if "hierarchy" in payload and draw(st.booleans()):
+        from repro import ultrasparc_i
+
+        payload["hierarchy"] = hierarchy_to_json(ultrasparc_i())
+    # Shuffle the JSON key order (textual, not semantic).
+    order = draw(st.permutations(range(len(BASE))))
+    return shuffled(payload, list(order))
+
+
+class TestKeyCanonicalization:
+    @given(a=equivalent_spellings(), b=equivalent_spellings())
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_requests_share_one_key(self, a, b):
+        # The spellings really are textually different most of the time...
+        texts = {json.dumps(a), json.dumps(b)}
+        # ...but always parse to the same key.
+        ka = request_key(parse_request(a))
+        kb = request_key(parse_request(b))
+        assert ka == kb, f"split key for spellings {texts}"
+
+    @given(order=st.permutations(range(len(BASE))))
+    @settings(max_examples=30, deadline=None)
+    def test_key_order_never_matters(self, order):
+        base_key = request_key(parse_request(BASE))
+        assert request_key(parse_request(shuffled(BASE, list(order)))) == base_key
+
+    @given(verbose_affine=st.booleans(), drop_defaults=st.booleans(),
+           rename=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_inline_program_spellings_share_one_key(
+        self, verbose_affine, drop_defaults, rename
+    ):
+        doc = program_to_json(tiny_program())
+        if rename:
+            doc["name"] = "совершенно другое имя"  # cosmetic, excluded
+        if drop_defaults:
+            for arr in doc["arrays"]:
+                arr.pop("element_size", None)  # default is 8 either way
+        if verbose_affine:
+            for nest in doc["nests"]:
+                for lp in nest["loops"]:
+                    if isinstance(lp["lower"], int):
+                        lp["lower"] = {"const": lp["lower"]}
+                    lp["step"] = 1
+        varied = request_key(parse_request({"program": doc, "search": "none"}))
+        plain = request_key(parse_request({
+            "program": program_to_json(tiny_program()), "search": "none",
+        }))
+        assert varied == plain
+
+    @given(n=st.sampled_from([16, 24, 32]), budget=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_questions_never_collide(self, n, budget):
+        a = parse_request({"kernel": "jacobi", "n": n, "budget": budget})
+        b = parse_request({"kernel": "jacobi", "n": n + 8, "budget": budget})
+        c = parse_request({"kernel": "jacobi", "n": n, "budget": budget + 1})
+        assert len({request_key(a), request_key(b), request_key(c)}) == 3

@@ -1,0 +1,75 @@
+"""The tuning pipeline: optimize + search + evaluate, with provenance."""
+
+from __future__ import annotations
+
+from repro.exec.executor import SweepExecutor
+from repro.exec.store import ResultStore
+from repro.service.pipeline import run_tuning
+from repro.service.protocol import parse_request
+
+
+def request(n: int = 32, **over):
+    payload = {"kernel": "jacobi", "n": n, "budget": 4, "max_lines": 2}
+    payload.update(over)
+    return parse_request(payload)
+
+
+class TestRunTuning:
+    def test_payload_shape_and_recommendation(self, tmp_path):
+        with SweepExecutor(workers=1, store=ResultStore(tmp_path)) as ex:
+            out = run_tuning(request(), ex)
+        rec = out["recommendation"]
+        assert list(rec["pads"]) == rec["order"]
+        assert set(rec["shapes"]) == set(rec["order"])
+        levels = out["evaluation"]["levels"]
+        assert [lv["name"] for lv in levels] == ["L1", "L2"]
+        for lv in levels:
+            assert 0.0 <= lv["miss_rate"] <= 1.0
+            assert lv["misses"] <= lv["accesses"]
+        assert out["evaluation"]["total_refs"] > 0
+        assert out["evaluation"]["cycles"] > 0
+        assert out["decisions"], "driver decisions must be reported"
+        assert out["search"]["evaluations"] >= 1
+        # The search is seeded with the heuristic: never worse.
+        assert (out["search"]["best_objective"]
+                <= out["search"]["baseline_objective"])
+        assert out["provenance"]["jobs"] >= out["search"]["evaluations"]
+        assert out["seconds"] >= 0
+
+    def test_search_none_skips_searching(self, tmp_path):
+        with SweepExecutor(workers=1, store=ResultStore(tmp_path)) as ex:
+            out = run_tuning(request(search="none"), ex)
+        assert out["search"] is None
+        assert out["provenance"]["jobs"] == 1
+
+    def test_repeat_request_replays_from_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with SweepExecutor(workers=1, store=store) as ex:
+            first = run_tuning(request(), ex)
+            second = run_tuning(request(), ex)
+        assert second["recommendation"] == first["recommendation"]
+        # Everything the second run needed was already stored.
+        assert second["provenance"]["store_hits"] == second["provenance"]["jobs"]
+        assert second["provenance"]["simulated"] == 0
+
+    def test_provenance_isolated_per_request(self, tmp_path):
+        """cumulative_stats(mark) scopes provenance to one request."""
+        with SweepExecutor(workers=1, store=ResultStore(tmp_path)) as ex:
+            a = run_tuning(request(search="none"), ex)
+            b = run_tuning(request(n=40, search="none"), ex)
+        assert a["provenance"]["jobs"] == 1
+        assert b["provenance"]["jobs"] == 1
+
+    def test_single_array_program_skips_search_gracefully(self, tmp_path):
+        from repro import ProgramBuilder
+        from repro.service.protocol import program_to_json
+
+        b = ProgramBuilder("one")
+        A = b.array("A", (64,))
+        (i,) = b.vars("i")
+        b.nest([b.loop(i, 1, 63)], [b.use(reads=[A[i]], flops=1)])
+        req = parse_request({"program": program_to_json(b.build())})
+        with SweepExecutor(workers=1, store=ResultStore(tmp_path)) as ex:
+            out = run_tuning(req, ex)
+        assert out["search"] is None
+        assert any("no pad space" in d for d in out["decisions"])

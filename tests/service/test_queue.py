@@ -1,0 +1,89 @@
+"""Admission control: depth bounds, draining, and cheapest-first order."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import parse_request
+from repro.service.queue import (
+    ServiceDraining,
+    ServiceSaturated,
+    TuningQueue,
+    estimate_cost,
+)
+
+
+def req(n: int, search: str = "none"):
+    return parse_request({"kernel": "jacobi", "n": n, "search": search})
+
+
+class TestAdmission:
+    def test_depth_bound_maps_to_429(self):
+        q = TuningQueue(limit=2)
+        q.admit("a", req(16), None)
+        q.admit("b", req(24), None)
+        with pytest.raises(ServiceSaturated, match="2/2"):
+            q.admit("c", req(32), None)
+        assert ServiceSaturated.status == 429
+
+    def test_draining_maps_to_503(self):
+        q = TuningQueue(limit=2)
+        q.stop(workers=1)
+        with pytest.raises(ServiceDraining):
+            q.admit("a", req(16), None)
+        assert ServiceDraining.status == 503
+
+    def test_done_frees_capacity(self):
+        q = TuningQueue(limit=1)
+        q.admit("a", req(16), None)
+        with pytest.raises(ServiceSaturated):
+            q.admit("b", req(16), None)
+        q.done()
+        q.admit("b", req(24), None)  # no raise
+
+    def test_limit_must_be_positive(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            TuningQueue(limit=0)
+
+
+class TestCostOrdering:
+    def test_cost_scales_with_size_and_budget(self):
+        assert estimate_cost(req(64)) > estimate_cost(req(16))
+        assert (estimate_cost(req(32, search="coordinate"))
+                > estimate_cost(req(32, search="none")))
+
+    def test_cheapest_first_drain(self):
+        async def drain():
+            q = TuningQueue(limit=8)
+            q.admit("huge", req(96), None)
+            q.admit("small", req(16), None)
+            q.admit("medium", req(48), None)
+            order = [(await q.get()).key for _ in range(3)]
+            return order
+
+        assert asyncio.run(drain()) == ["small", "medium", "huge"]
+
+    def test_arrival_breaks_cost_ties(self):
+        async def drain():
+            q = TuningQueue(limit=8)
+            q.admit("first", req(32), None)
+            q.admit("second", req(32), None)
+            return [(await q.get()).key for _ in range(2)]
+
+        assert asyncio.run(drain()) == ["first", "second"]
+
+    def test_stop_wakes_every_worker(self):
+        async def drain():
+            q = TuningQueue(limit=8)
+            q.admit("work", req(16), None)
+            q.stop(workers=2)
+            got = [await q.get() for _ in range(3)]
+            return [g.key if g is not None else None for g in got]
+
+        drained = asyncio.run(drain())
+        assert drained.count(None) == 2
+        assert "work" in drained  # real work still drains before stop

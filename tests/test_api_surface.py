@@ -235,6 +235,44 @@ class TestSymbolicExports:
             assert getattr(repro.exec, name) is not None
 
 
+class TestServiceExports:
+    """The tuning service's entry points are re-exported from the root."""
+
+    SERVICE_NAMES = [
+        "ServiceConfig",
+        "TuningClient",
+        "TuningRequest",
+        "TuningService",
+    ]
+
+    def test_names_in_package_all(self):
+        import repro
+
+        for name in self.SERVICE_NAMES:
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_root_exports_match_subpackage(self):
+        import repro
+        import repro.service
+
+        for name in self.SERVICE_NAMES:
+            assert getattr(repro, name) is getattr(repro.service, name)
+
+    def test_subpackage_surface(self):
+        import repro.service
+
+        for name in (
+            "SERVICE_SCHEMA", "ProtocolError", "parse_request",
+            "request_key", "program_to_json", "program_from_json",
+            "hierarchy_to_json", "hierarchy_from_json", "run_tuning",
+            "TuningStore", "RequestPlanner", "TuningQueue",
+            "ServiceSaturated", "ServiceDraining", "serve",
+        ):
+            assert name in repro.service.__all__
+            assert getattr(repro.service, name) is not None
+
+
 class TestCacheSimulatorExports:
     """Both k-way simulators (oracle and vectorized) are package API."""
 
