@@ -211,8 +211,13 @@ def summarize(benchmarks) -> list[dict[str, Any]]:
     return rows
 
 
-def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None):
+def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None,
+                   trace: str | None = None):
     """Append one session record; returns the path written (or ``None``).
+
+    ``trace`` is the path of the trace artifact recorded alongside this
+    session (``pytest benchmarks --bench-trace PATH``), stored in the
+    record so the timings stay linked to the spans that explain them.
 
     Corrupt or foreign existing content is renamed aside rather than
     destroyed, so a bad merge can never silently eat the history.
@@ -241,20 +246,25 @@ def append_session(rows: list[dict[str, Any]], path: pathlib.Path | None = None)
     metrics = _metrics_snapshot()
     if metrics is not None:
         record["metrics"] = metrics
+    if trace is not None:
+        record["trace"] = str(trace)
     history.append(record)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return path
 
 
-def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
+def append_routed(rows: list[dict[str, Any]],
+                  trace: str | None = None) -> list[pathlib.Path]:
     """Split ``rows`` by group and append each bucket to its artifact.
 
     Rows whose ``group`` is in :data:`ASSOC_GROUPS` go to
     :func:`assoc_output_path`, :data:`SYMBOLIC_GROUPS` rows to
     :func:`symbolic_output_path`, :data:`EXEC_GROUPS` rows to
     :func:`exec_output_path`, the rest to :func:`output_path`.
-    Returns the paths actually written.
+    ``trace`` (the session's trace artifact, if one was recorded) is
+    attached to every record written.  Returns the paths actually
+    written.
     """
     assoc = [r for r in rows if r.get("group") in ASSOC_GROUPS]
     symbolic = [r for r in rows if r.get("group") in SYMBOLIC_GROUPS]
@@ -271,7 +281,7 @@ def append_routed(rows: list[dict[str, Any]]) -> list[pathlib.Path]:
         (servicerows, service_output_path()),
     ):
         if bucket and path is not None:
-            out = append_session(bucket, path)
+            out = append_session(bucket, path, trace=trace)
             if out is not None:
                 written.append(out)
     return written

@@ -201,6 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         help="baseline family directory to prefer (default: this "
              "machine's fingerprint, e.g. x86_64-4cpu)",
     )
+    parser.add_argument(
+        "--trace-pair", nargs=2, action="append", default=None,
+        metavar=("FRESH", "BASELINE"),
+        help="additionally diff a fresh trace file against a baseline "
+             "trace (span self-times and work counters via repro.obs); "
+             "a 'fail'-status diff fails the gate.  Repeatable.",
+    )
     args = parser.parse_args(argv)
     if len(args.paths) % 2 != 0:
         parser.error("paths must come in FRESH BASELINE pairs")
@@ -242,8 +249,39 @@ def main(argv: list[str] | None = None) -> int:
         for f in findings:
             print(f"  {f.format()}")
         failed = failed or any(f.status == "fail" for f in findings)
+    for fresh_trace, base_trace in args.trace_pair or ():
+        failed = _trace_gate(pathlib.Path(fresh_trace),
+                             pathlib.Path(base_trace),
+                             args.warn_pct, args.fail_pct) or failed
     print(f"[trend] {'FAIL' if failed else 'ok'}")
     return 1 if failed else 0
+
+
+def _trace_gate(fresh: pathlib.Path, base: pathlib.Path,
+                warn_pct: float, fail_pct: float) -> bool:
+    """Diff one fresh trace against a baseline trace; True on failure.
+
+    The structural complement of the throughput gate above: where that
+    one watches end-to-end benchmark rates, this one watches *where the
+    time went* -- per-span-name self-time and the work counters (jobs,
+    store hits, simulated refs) recorded in each trace -- so a
+    regression shows up with the phase that caused it attached.
+    """
+    if not base.exists():
+        print(f"[trend] no baseline trace at {base}; skipping {fresh}")
+        return False
+    if not fresh.exists():
+        print(f"[trend] baseline trace {base} has no fresh trace at "
+              f"{fresh}: tracing step missing?")
+        return True
+    try:
+        from repro.obs.diff import diff_traces
+    except ImportError:  # pragma: no cover - src not on the path
+        print(f"[trend] repro.obs unavailable; skipping trace diff {fresh}")
+        return False
+    result = diff_traces(base, fresh, warn_pct=warn_pct, fail_pct=fail_pct)
+    print(result.format())
+    return result.status == "fail"
 
 
 if __name__ == "__main__":

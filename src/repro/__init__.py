@@ -21,8 +21,11 @@ The package implements, from scratch, every system the paper relies on:
   (no trace, no simulation) powering the two-tier predict-then-verify
   search strategy;
 * :mod:`repro.obs` -- zero-dependency tracing (nested spans, Chrome
-  trace-event export) and a metrics registry, instrumented across the
-  executor, simulators, search, and model;
+  trace-event export, per-level miss-rate counter tracks over reference
+  windows, cross-process request trace trees, trace-vs-trace regression
+  diffs) and a metrics registry with percentile summaries and Prometheus
+  exposition, instrumented across the executor, simulators, search,
+  model, and tuning service;
 * :mod:`repro.fuzz` -- seeded random-program generation, a differential
   predictor-vs-simulator-vs-oracle harness, divergence shrinking, and a
   distilled regression corpus;
@@ -99,9 +102,14 @@ from repro.model import (
 from repro.symbolic import SymbolicStats, analyze_job, classify_job
 from repro.obs import (
     MetricsRegistry,
+    Timeline,
+    TraceDiff,
     Tracer,
+    diff_traces,
+    format_prometheus,
     get_metrics,
     get_tracer,
+    set_timeline_window,
     start_tracing,
     stop_tracing,
 )
@@ -211,8 +219,13 @@ __all__ = [
     # observability
     "Tracer",
     "MetricsRegistry",
+    "Timeline",
+    "TraceDiff",
+    "diff_traces",
+    "format_prometheus",
     "get_tracer",
     "get_metrics",
+    "set_timeline_window",
     "start_tracing",
     "stop_tracing",
     # errors

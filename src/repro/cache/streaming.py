@@ -176,15 +176,32 @@ def _make_level(cfg: CacheConfig):
 
 
 class StreamingHierarchy:
-    """Multi-level streaming simulation: feed chunks, then read the result."""
+    """Multi-level streaming simulation: feed chunks, then read the result.
 
-    def __init__(self, config: HierarchyConfig):
+    Pass a :class:`repro.obs.timeline.Timeline` to also accumulate
+    windowed per-level telemetry: ``feed`` then splits each chunk at
+    window boundaries (re-reading ``timeline.window_refs`` per slice,
+    since coalescing can widen it mid-run) and records each slice's
+    per-level ``(accesses, misses)`` delta.  Window boundaries land at
+    exactly the same reference positions regardless of how the trace was
+    chunked, and every reference lands in exactly one window, so the
+    timeline's totals equal :meth:`result`'s bit-for-bit -- the
+    property ``tests/properties/test_property_timeline.py`` pins.
+    """
+
+    def __init__(self, config: HierarchyConfig, timeline=None):
         self.config = config
         self._levels = [_make_level(cfg) for cfg in config]
         self.total_refs = 0
+        self.timeline = timeline
         # Resolved once: `feed` is the hot path and the registry lookup,
         # cheap as it is, should not recur per chunk.
         self._refs_counter = get_metrics().counter("cache.refs")
+
+    def _feed_levels(self, stream: np.ndarray) -> None:
+        for level in self._levels:
+            mask = level.feed(stream)
+            stream = stream[mask]
 
     def feed(self, addresses: np.ndarray) -> None:
         """Push one trace chunk through every level.
@@ -198,12 +215,27 @@ class StreamingHierarchy:
         addresses = np.asarray(addresses, dtype=np.int64)
         tracer = get_tracer()
         t0 = time.perf_counter() if tracer.enabled else 0.0
-        self.total_refs += int(addresses.size)
-        stream = addresses
-        for level in self._levels:
-            mask = level.feed(stream)
-            stream = stream[mask]
-        self._refs_counter.inc(int(addresses.size))
+        n = int(addresses.size)
+        if self.timeline is None:
+            self.total_refs += n
+            self._feed_levels(addresses)
+        else:
+            pos = 0
+            while pos < n:
+                window = self.timeline.window_refs
+                take = min(window - self.total_refs % window, n - pos)
+                start_ref = self.total_refs
+                before = [(lv.accesses, lv.misses) for lv in self._levels]
+                self._feed_levels(addresses[pos:pos + take])
+                self.timeline.record(
+                    start_ref,
+                    start_ref + take,
+                    [(lv.accesses - acc, lv.misses - miss)
+                     for lv, (acc, miss) in zip(self._levels, before)],
+                )
+                self.total_refs += take
+                pos += take
+        self._refs_counter.inc(n)
         if tracer.enabled:
             get_metrics().histogram("cache.chunk_seconds").observe(
                 time.perf_counter() - t0

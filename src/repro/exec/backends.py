@@ -88,10 +88,11 @@ def run_oracle(job) -> SimulationResult:
     )
 
 
-def _timed_run_oracle(job) -> tuple[SimulationResult, float, int, int]:
+def _timed_run_oracle(job) -> tuple[SimulationResult, float, int, int, None]:
     """Pool-able worker entry point for the oracle tier (mirrors
-    :func:`repro.exec.executor._timed_run`)."""
+    :func:`repro.exec.executor._timed_run`; the sequential oracle does
+    not produce timeline rows)."""
     start_ns = time.time_ns()
     t0 = time.perf_counter()
     result = run_oracle(job)
-    return result, time.perf_counter() - t0, start_ns, os.getpid()
+    return result, time.perf_counter() - t0, start_ns, os.getpid(), None

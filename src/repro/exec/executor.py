@@ -58,6 +58,7 @@ from repro.exec.scheduler import WorkerPool, dispatch_jobs, pack_payloads
 from repro.exec.shard import ShardSpec, parse_shard
 from repro.exec.store import ResultStore, open_default_store
 from repro.obs.metrics import format_exec_line, get_metrics
+from repro.obs.timeline import emit_counter_tracks, get_timeline_window
 from repro.obs.tracer import get_tracer
 from repro.trace.generator import DEFAULT_CHUNK_REFS
 
@@ -181,18 +182,20 @@ class ExecStats:
         )
 
 
-def _timed_run(job: SimJob) -> tuple[SimulationResult, float, int, int]:
+def _timed_run(job: SimJob) -> tuple[SimulationResult, float, int, int, list | None]:
     """Worker entry point: simulate one job, measuring its time.
 
-    Returns ``(result, seconds, start_time_ns, pid)`` -- the wall-clock
-    start and worker pid let the parent synthesize a trace span for work
-    that ran in another process.  Must stay a module-level function so it
-    pickles to worker processes.
+    Returns ``(result, seconds, start_time_ns, pid, timeline_rows)`` --
+    the wall-clock start and worker pid let the parent synthesize a
+    trace span for work that ran in another process, and the timeline
+    rows (None unless the job asked for windowed telemetry) are replayed
+    by the parent as Perfetto counter tracks.  Must stay a module-level
+    function so it pickles to worker processes.
     """
     start_ns = time.time_ns()
     t0 = time.perf_counter()
-    result = job.run()
-    return result, time.perf_counter() - t0, start_ns, os.getpid()
+    result, rows = job.run_timed()
+    return result, time.perf_counter() - t0, start_ns, os.getpid(), rows
 
 
 class SweepExecutor:
@@ -477,6 +480,13 @@ class SweepExecutor:
                         # fallback; chunking never changes miss counts,
                         # and the chunk size is outside the content key.
                         job = replace(job, max_chunk_refs=auto_chunk_refs(job))
+                    if tracer.enabled and job.timeline_window is None:
+                        # Traced runs also collect windowed per-level
+                        # telemetry (pure observability: outside the
+                        # content key, counts unchanged).
+                        window = get_timeline_window()
+                        if window:
+                            job = replace(job, timeline_window=window)
                     pending.append((i, key, job))
                     if tracer.enabled and self.store is not None:
                         tracer.event("exec.store_miss", cat="exec",
@@ -492,8 +502,11 @@ class SweepExecutor:
                 dispatch_ns = time.time_ns()
                 computed = self._dispatch_pending(ordered, runner, tracer, stats)
                 job_spans: dict[str, int] = {}
+                timeline_emits: list[tuple[tuple, list, int | None]] = []
                 for i, key, job in pending:
-                    (result, seconds, start_ns, worker_pid), source = computed[key]
+                    (result, seconds, start_ns, worker_pid, rows), source = (
+                        computed[key]
+                    )
                     first = unique[key][0] == i
                     results[i] = result
                     if first:
@@ -521,11 +534,24 @@ class SweepExecutor:
                                 ),
                                 **extra,
                             )
+                        if rows and tracer.enabled:
+                            timeline_emits.append((
+                                tuple(cfg.name for cfg in job.hierarchy),
+                                rows,
+                                worker_pid if source == "pool" else None,
+                            ))
                     stats.records.append(
                         JobRecord(i, key, seconds if first else 0.0,
                                   source if first else "cache", job.tag,
                                   span_id=job_spans.get(key))
                     )
+                # Counter tracks replay in start-time order so each
+                # (pid, tid, track) lane is monotone in the export even
+                # when pool completions arrived out of order.
+                timeline_emits.sort(key=lambda e: e[1][0][2])
+                for levels, rows, lane_tid in timeline_emits:
+                    emit_counter_tracks(levels, rows, tracer=tracer,
+                                        tid=lane_tid)
 
             stats.records.sort(key=lambda r: r.index)
             stats.wall_seconds = time.perf_counter() - t0

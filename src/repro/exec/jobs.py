@@ -37,6 +37,10 @@ class SimJob:
     restricts the trace to one nest (cold caches), as
     :func:`repro.simulate.simulate_nest` does.  ``tag`` is opaque caller
     metadata (figure/version labels); it never reaches the cache key.
+    ``timeline_window`` asks :meth:`run_timed` for windowed per-level
+    telemetry (refs per window; None/0 disables); like ``tag`` it is
+    pure observability and never reaches the cache key -- the simulated
+    counts are bit-identical with or without it.
     """
 
     program: Program
@@ -46,6 +50,7 @@ class SimJob:
     nest_index: int | None = None
     max_chunk_refs: int = DEFAULT_CHUNK_REFS
     tag: tuple = field(default=(), compare=False)
+    timeline_window: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.kernel is not None and self.nest_index is not None:
@@ -125,6 +130,24 @@ class SimJob:
 
     def run(self) -> SimulationResult:
         """Simulate this job (pure computation, no memoization)."""
-        sim = StreamingHierarchy(self.hierarchy)
+        return self.run_timed()[0]
+
+    def run_timed(self) -> tuple[SimulationResult, list | None]:
+        """Simulate and also return timeline rows when requested.
+
+        The second element is ``Timeline.rows()`` (plain picklable
+        lists) when ``timeline_window`` is set, else None.  The
+        simulation itself is identical either way.
+        """
+        timeline = None
+        if self.timeline_window:
+            from repro.obs.timeline import Timeline
+
+            timeline = Timeline(
+                levels=tuple(cfg.name for cfg in self.hierarchy),
+                window_refs=self.timeline_window,
+            )
+        sim = StreamingHierarchy(self.hierarchy, timeline=timeline)
         sim.feed_all(self.chunks())
-        return sim.result()
+        result = sim.result()
+        return result, (timeline.rows() if timeline is not None else None)

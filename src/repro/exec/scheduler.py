@@ -90,7 +90,7 @@ def run_shared(digest: str, blob: bytes, variant: tuple, runner) -> tuple:
     from repro.exec.jobs import SimJob  # lazy: avoid import cycle at fork
 
     program, hierarchy = _shared_payload(digest, blob)
-    layout, kernel, nest_index, max_chunk_refs = variant
+    layout, kernel, nest_index, max_chunk_refs, timeline_window = variant
     job = SimJob(
         program=program,
         layout=layout,
@@ -98,6 +98,7 @@ def run_shared(digest: str, blob: bytes, variant: tuple, runner) -> tuple:
         kernel=kernel,
         nest_index=nest_index,
         max_chunk_refs=max_chunk_refs,
+        timeline_window=timeline_window,
     )
     return runner(job)
 
@@ -125,7 +126,8 @@ def pack_payloads(jobs) -> list[tuple[str, bytes, tuple]]:
             cached = (hashlib.sha256(blob).hexdigest(), blob)
             blob_of[ident] = cached
         digest, blob = cached
-        variant = (job.layout, job.kernel, job.nest_index, job.max_chunk_refs)
+        variant = (job.layout, job.kernel, job.nest_index, job.max_chunk_refs,
+                   job.timeline_window)
         out.append((digest, blob, variant))
     return out
 

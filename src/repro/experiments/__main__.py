@@ -32,7 +32,14 @@ experiment, one per sweep, one per simulation job) plus a metrics
 snapshot; ``--trace-format chrome`` writes a Perfetto/chrome://tracing
 loadable file instead of JSON lines.  ``report --trace PATH`` summarizes
 a recorded trace (top spans by self-time, store hit rate, worker
-utilization incl. steals and queue depth, refs/s).
+utilization incl. steals and queue depth, refs/s); ``report --trace
+PATH --trace-id ID`` reconstructs one request's causal span tree
+instead.  Traced runs also record per-level miss-rate counter tracks
+(one sample per ``--timeline-window`` references, default 65536; 0
+disables), which render as phase curves in Perfetto.  ``diff --trace
+FRESH --baseline BASE`` compares two recorded traces -- per-span
+self-time and work counters -- and exits nonzero when growth crosses
+``--fail-pct``.
 
 Sweeps shard across machines by content key::
 
@@ -62,8 +69,10 @@ from repro.errors import ReproError
 from repro.exec.executor import SweepExecutor
 from repro.exec.shard import merge_stores, merge_traces, parse_shard
 from repro.exec.store import ENV_CACHE_DIR, ResultStore
+from repro.obs.diff import FAIL_PCT, WARN_PCT, diff_traces
 from repro.obs.metrics import diff_counters, format_exec_line, get_metrics
-from repro.obs.report import format_report
+from repro.obs.report import format_report, format_trace_tree
+from repro.obs.timeline import set_timeline_window
 from repro.obs.tracer import get_tracer, start_tracing, stop_tracing
 from repro.experiments import (
     ext_assoc,
@@ -147,9 +156,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "merge"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "merge", "diff"],
         help="which artifact to regenerate ('report' summarizes a trace; "
-             "'merge' fuses shard stores/traces)",
+             "'merge' fuses shard stores/traces; 'diff' compares a fresh "
+             "trace against a baseline)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -223,6 +233,31 @@ def main(argv: list[str] | None = None) -> int:
         help="trace file format: JSON lines (default) or Chrome "
              "trace-event for chrome://tracing / Perfetto",
     )
+    parser.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="('report' only) reconstruct one request's causal span tree "
+             "instead of the aggregate summary",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None, metavar="PATH",
+        help="('diff' only) baseline trace file; --trace is the fresh one",
+    )
+    parser.add_argument(
+        "--warn-pct", type=float, default=WARN_PCT, metavar="PCT",
+        help="('diff' only) self-time growth that warns "
+             f"(default {WARN_PCT:g}%%)",
+    )
+    parser.add_argument(
+        "--fail-pct", type=float, default=FAIL_PCT, metavar="PCT",
+        help="('diff' only) self-time growth that fails the diff "
+             f"(default {FAIL_PCT:g}%%)",
+    )
+    parser.add_argument(
+        "--timeline-window", type=int, default=None, metavar="REFS",
+        help="phase-telemetry window width in references for traced "
+             "runs; each simulated job emits per-level miss-rate counter "
+             "samples once per window (0 disables; default 65536)",
+    )
     args = parser.parse_args(argv)
     if args.budget is not None and args.budget < 1:
         parser.error(f"--budget must be >= 1, got {args.budget}")
@@ -240,6 +275,24 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--shard populates the result store; drop --no-cache")
     if args.experiment != "merge" and (args.stores or args.traces):
         parser.error("--stores/--traces only apply to the 'merge' verb")
+    if args.experiment != "report" and args.trace_id is not None:
+        parser.error("--trace-id only applies to the 'report' verb")
+    if args.experiment != "diff" and args.baseline is not None:
+        parser.error("--baseline only applies to the 'diff' verb")
+    if args.timeline_window is not None and args.timeline_window < 0:
+        parser.error(f"--timeline-window must be >= 0, "
+                     f"got {args.timeline_window}")
+
+    if args.experiment == "diff":
+        if args.trace is None or args.baseline is None:
+            parser.error("'diff' needs --trace FRESH and --baseline BASELINE")
+        for path in (args.trace, args.baseline):
+            if not path.exists():
+                parser.error(f"no trace file at {path}")
+        result = diff_traces(args.baseline, args.trace,
+                             warn_pct=args.warn_pct, fail_pct=args.fail_pct)
+        print(result.format())
+        return 1 if result.status == "fail" else 0
 
     if args.experiment == "merge":
         if not args.stores:
@@ -265,9 +318,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("'report' needs --trace PATH pointing at a recorded trace")
         if not args.trace.exists():
             parser.error(f"no trace file at {args.trace}")
-        print(format_report(args.trace))
+        if args.trace_id is not None:
+            print(format_trace_tree(args.trace, trace_id=args.trace_id))
+        else:
+            print(format_report(args.trace))
         return 0
 
+    if args.timeline_window is not None:
+        set_timeline_window(args.timeline_window)
     tracer = start_tracing() if args.trace is not None else get_tracer()
 
     store = None

@@ -1,17 +1,29 @@
 """repro.obs -- unified tracing and metrics across the whole stack.
 
-The observability layer the executor, simulators, search, model, and
-experiment harnesses all report through:
+The observability layer the executor, simulators, search, model,
+service, and experiment harnesses all report through:
 
 * :mod:`repro.obs.tracer` -- nested spans with monotonic timestamps,
-  process/thread ids and typed attributes; a process-wide registry whose
-  default is a true no-op; JSON-lines and Chrome trace-event export
-  (open in ``chrome://tracing`` or https://ui.perfetto.dev);
-* :mod:`repro.obs.metrics` -- counters / gauges / histograms unifying
-  the previously siloed stats (refs simulated, per-level hit/miss
-  totals, store hit rate, search evaluations, predictor scores);
+  process/thread ids and typed attributes; counter samples that export
+  as Perfetto counter tracks; open-span capture for post-mortem traces;
+  trace-context scopes for cross-thread/cross-process causality; a
+  process-wide registry whose default is a true no-op; JSON-lines and
+  Chrome trace-event export (open in ``chrome://tracing`` or
+  https://ui.perfetto.dev);
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms (with
+  reservoir p50/p95/p99) unifying the previously siloed stats (refs
+  simulated, per-level hit/miss totals, store hit rate, search
+  evaluations, predictor scores);
+* :mod:`repro.obs.timeline` -- windowed per-level (accesses, misses)
+  telemetry: phase behaviour within one kernel, summing bit-exactly to
+  the untimed totals, rendered as miss-rate-over-time counter tracks;
+* :mod:`repro.obs.prometheus` -- Prometheus text exposition of a
+  metrics snapshot (the service's ``/metrics?format=prometheus``);
 * :mod:`repro.obs.report` -- the ``repro-experiments report`` summary:
-  top spans by self-time, store hit rate, sims per second.
+  top spans by self-time, store hit rate, sims per second, histogram
+  percentiles, counter-track coverage, and per-request causal trees;
+* :mod:`repro.obs.diff` -- structural trace regression diffs (the
+  ``repro-experiments diff`` verb and the second CI trend gate).
 
 Quick use::
 
@@ -25,6 +37,7 @@ Quick use::
 See ``docs/observability.md`` for the full tour.
 """
 
+from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,9 +50,24 @@ from repro.obs.metrics import (
     reset_metrics,
     set_metrics,
 )
-from repro.obs.report import aggregate_spans, format_report, load_trace
+from repro.obs.prometheus import format_prometheus
+from repro.obs.report import (
+    TraceDoc,
+    aggregate_spans,
+    format_report,
+    format_trace_tree,
+    load_trace,
+    load_trace_doc,
+)
+from repro.obs.timeline import (
+    Timeline,
+    emit_counter_tracks,
+    get_timeline_window,
+    set_timeline_window,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
+    CounterSample,
     NullTracer,
     Span,
     Tracer,
@@ -52,6 +80,7 @@ from repro.obs.tracer import (
 __all__ = [
     # tracer
     "Span",
+    "CounterSample",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -70,8 +99,21 @@ __all__ = [
     "diff_counters",
     "best_of",
     "format_exec_line",
+    # timeline
+    "Timeline",
+    "emit_counter_tracks",
+    "get_timeline_window",
+    "set_timeline_window",
+    # prometheus
+    "format_prometheus",
     # report
+    "TraceDoc",
     "load_trace",
+    "load_trace_doc",
     "aggregate_spans",
     "format_report",
+    "format_trace_tree",
+    # diff
+    "TraceDiff",
+    "diff_traces",
 ]

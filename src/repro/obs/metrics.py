@@ -21,6 +21,7 @@ into the parent registry, so sweep metrics are complete either way.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Any, Callable
@@ -64,15 +65,28 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary: count, total, min, max (no buckets)."""
+    """A streaming summary: count, total, min, max, and percentiles.
 
-    __slots__ = ("count", "total", "vmin", "vmax")
+    Percentiles come from a bounded reservoir (Vitter's algorithm R,
+    seeded per-instance so one process's snapshots are reproducible):
+    the first :data:`RESERVOIR_SIZE` observations are kept exactly, later
+    ones replace a random slot with probability ``size/count``.  At the
+    scale the registry sees (thousands of chunk timings per run) the
+    reservoir is usually exact; beyond it the quantile error is the
+    standard sampling error, which is fine for a p95 on a latency line.
+    """
+
+    RESERVOIR_SIZE = 2048
+
+    __slots__ = ("count", "total", "vmin", "vmax", "_sample", "_rng")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self._sample: list[float] = []
+        self._rng = random.Random(0xC0FFEE)
 
     def observe(self, v: float) -> None:
         self.count += 1
@@ -81,18 +95,45 @@ class Histogram:
             self.vmin = v
         if v > self.vmax:
             self.vmax = v
+        if len(self._sample) < self.RESERVOIR_SIZE:
+            self._sample.append(v)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._sample[slot] = v
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over the reservoir (0.0 when empty)."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
     def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self._sample)
+        n = len(ordered)
+
+        def rank(pct: float) -> float:
+            return ordered[max(0, min(n - 1, int(round(pct / 100.0 * (n - 1)))))]
+
         return {
             "count": self.count,
             "total": self.total,
-            "min": self.vmin if self.count else 0.0,
-            "max": self.vmax if self.count else 0.0,
+            "min": self.vmin,
+            "max": self.vmax,
             "mean": self.mean,
+            "p50": rank(50),
+            "p95": rank(95),
+            "p99": rank(99),
         }
 
 

@@ -1,0 +1,101 @@
+"""Prometheus text exposition (format 0.0.4) over a metrics snapshot.
+
+The service's ``/metrics`` endpoint serves JSON for humans and the test
+harness; real scrapers speak the Prometheus text format.  This module
+maps the registry's three metric kinds onto the standard types with no
+new dependencies:
+
+===========  ==================  =========================================
+registry     Prometheus type     exposition
+===========  ==================  =========================================
+Counter      ``counter``         ``name_total value``
+Gauge        ``gauge``           ``name value``
+Histogram    ``summary``         ``name{quantile="0.5|0.95|0.99"}`` plus
+                                 ``name_sum``, ``name_count``, and
+                                 ``name_min``/``name_max`` gauges
+===========  ==================  =========================================
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and dashes become underscores, so
+``service.requests.computed`` scrapes as
+``service_requests_computed_total``.  Sanitization can collide two
+registry names onto one exposition name; the first (sorted) name wins
+and the duplicate is dropped rather than emitted twice, which scrapers
+would reject.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["format_prometheus", "sanitize_metric_name"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Rewrite a registry name into the Prometheus metric-name grammar."""
+    out = _NAME_OK.sub("_", name)
+    if not out or not (out[0].isalpha() or out[0] in "_:"):
+        out = "_" + out
+    return out
+
+
+def _fmt(value) -> str:
+    """Render a sample value: integers stay integral, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def format_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as exposition text.
+
+    Output is deterministic (sorted by exposition name) and ends with a
+    trailing newline, as the format requires.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+
+    def claim(name: str) -> bool:
+        if name in seen:
+            return False
+        seen.add(name)
+        return True
+
+    for raw, value in sorted(snapshot.get("counters", {}).items()):
+        name = sanitize_metric_name(raw) + "_total"
+        if not claim(name):
+            continue
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+
+    for raw, value in sorted(snapshot.get("gauges", {}).items()):
+        name = sanitize_metric_name(raw)
+        if not claim(name):
+            continue
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+
+    for raw, summary in sorted(snapshot.get("histograms", {}).items()):
+        name = sanitize_metric_name(raw)
+        if not claim(name):
+            continue
+        lines.append(f"# TYPE {name} summary")
+        for quantile, key in _QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{name}{{quantile="{quantile}"}} {_fmt(summary[key])}')
+        lines.append(f"{name}_sum {_fmt(summary.get('total', 0.0))}")
+        lines.append(f"{name}_count {_fmt(summary.get('count', 0))}")
+        for part in ("min", "max"):
+            if part in summary:
+                part_name = f"{name}_{part}"
+                if claim(part_name):
+                    lines.append(f"# TYPE {part_name} gauge")
+                    lines.append(f"{part_name} {_fmt(summary[part])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

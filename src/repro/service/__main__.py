@@ -51,6 +51,15 @@ def main(argv: list[str] | None = None) -> int:
         "--drain-timeout", type=float, default=60.0, metavar="S",
         help="seconds to wait for admitted work on shutdown (default 60)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace",
+        help="record request/pipeline/simulator spans and timeline "
+             "counter tracks; written to PATH on shutdown",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="trace file format (default jsonl; chrome loads in Perfetto)",
+    )
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error(f"--concurrency must be >= 1, got {args.concurrency}")
@@ -68,6 +77,8 @@ def main(argv: list[str] | None = None) -> int:
         sim_workers=args.sim_workers,
         backend=args.backend,
         drain_timeout=args.drain_timeout,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
     )
     return asyncio.run(serve(config))
 

@@ -41,7 +41,7 @@ class TuningClient:
         self.timeout = timeout
 
     def _request(self, method: str, path: str,
-                 body: dict | None = None) -> tuple[int, dict]:
+                 body: dict | None = None) -> tuple[int, dict | str]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -54,6 +54,10 @@ class TuningClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+            ctype = response.getheader("Content-Type", "")
+            if ctype.startswith("text/plain"):
+                # e.g. the Prometheus exposition from /metrics?format=...
+                return response.status, raw.decode("utf-8")
             try:
                 decoded = json.loads(raw) if raw else {}
             except ValueError:
@@ -87,8 +91,11 @@ class TuningClient:
     def job(self, key: str) -> tuple[int, dict]:
         return self._request("GET", f"/v1/jobs/{key}")
 
-    def metrics(self) -> dict:
-        status, payload = self._request("GET", "/metrics")
+    def metrics(self, fmt: str = "json") -> dict | str:
+        """The metrics snapshot: a dict, or the Prometheus text when
+        ``fmt="prometheus"``."""
+        suffix = "" if fmt == "json" else f"?format={fmt}"
+        status, payload = self._request("GET", f"/metrics{suffix}")
         if status != 200:
             raise ServiceClientError(f"/metrics answered HTTP {status}")
         return payload
@@ -126,7 +133,10 @@ def main(argv: list[str] | None = None) -> int:
                       help="return the job id immediately (202)")
     job = sub.add_parser("job", help="poll one job by key")
     job.add_argument("key")
-    sub.add_parser("metrics", help="dump the metrics snapshot")
+    metrics = sub.add_parser("metrics", help="dump the metrics snapshot")
+    metrics.add_argument("--format", choices=["json", "prometheus"],
+                         default="json", dest="fmt",
+                         help="snapshot encoding (default json)")
     sub.add_parser("healthz", help="liveness check")
     args = parser.parse_args(argv)
 
@@ -140,13 +150,16 @@ def main(argv: list[str] | None = None) -> int:
         elif args.verb == "job":
             status, payload = client.job(args.key)
         elif args.verb == "metrics":
-            status, payload = 200, client.metrics()
+            status, payload = 200, client.metrics(fmt=args.fmt)
         else:
             status, payload = client.healthz()
     except (ServiceClientError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    if isinstance(payload, str):
+        print(payload, end="")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0 if status in (200, 202) else 1
 
 

@@ -29,7 +29,29 @@ from repro.search.space import pad_space
 from repro.search.tuner import Autotuner
 from repro.service.protocol import SERVICE_SCHEMA, TuningRequest
 
-__all__ = ["run_tuning"]
+__all__ = ["run_tuning", "run_tuning_traced"]
+
+
+def run_tuning_traced(req: TuningRequest, executor: SweepExecutor,
+                      trace_id: str | None = None,
+                      parent_span: int | None = None,
+                      fn=None) -> dict:
+    """:func:`run_tuning` under the admitting request's trace context.
+
+    Runs in a pool thread with no live spans of its own; the scope
+    re-parents everything the pipeline records (``service.tune``,
+    ``exec.sweep``, ``exec.job``, simulator chunk spans) under the HTTP
+    request's reserved root span and stamps the ``trace_id`` into their
+    args -- that is what makes ``report --trace-id`` able to reconstruct
+    one request end to end.
+
+    ``fn`` lets the server pass its own (patchable) ``run_tuning``
+    reference; the scope wraps whatever actually runs.
+    """
+    tracer = get_tracer()
+    ctx = {"trace_id": trace_id} if trace_id is not None else {}
+    with tracer.scope(parent_id=parent_span, **ctx):
+        return (fn or run_tuning)(req, executor)
 
 
 def run_tuning(req: TuningRequest, executor: SweepExecutor) -> dict:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,13 +64,22 @@ def estimate_cost(req: TuningRequest) -> float:
 
 @dataclass(order=True)
 class _Admitted:
-    """One queued unit of work, ordered by (cost, arrival)."""
+    """One queued unit of work, ordered by (cost, arrival).
+
+    ``trace_id``/``parent_span``/``admitted_ns`` carry the admitting
+    HTTP request's trace context across the queue, so the worker can
+    record the queue wait and run the pipeline under the request's root
+    span -- the cross-process half of one connected trace tree.
+    """
 
     cost: float
     seq: int
     key: str = field(compare=False)
     request: TuningRequest = field(compare=False)
     future: Any = field(compare=False)
+    trace_id: str | None = field(compare=False, default=None)
+    parent_span: int | None = field(compare=False, default=None)
+    admitted_ns: int = field(compare=False, default=0)
 
 
 class TuningQueue:
@@ -90,7 +100,9 @@ class TuningQueue:
         self.depth = 0
         self.draining = False
 
-    def admit(self, key: str, request: TuningRequest, future) -> None:
+    def admit(self, key: str, request: TuningRequest, future,
+              trace_id: str | None = None,
+              parent_span: int | None = None) -> None:
         """Enqueue cold work or refuse with an explicit status."""
         if self.draining:
             raise ServiceDraining("server is draining; no new work accepted")
@@ -106,6 +118,9 @@ class TuningQueue:
                 key=key,
                 request=request,
                 future=future,
+                trace_id=trace_id,
+                parent_span=parent_span,
+                admitted_ns=time.time_ns(),
             )
         )
 

@@ -37,13 +37,16 @@ import json
 import signal
 import time
 import urllib.parse
+import uuid
 from dataclasses import dataclass, field
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.exec.executor import SweepExecutor
 from repro.exec.store import ResultStore
 from repro.obs.metrics import get_metrics
-from repro.service.pipeline import run_tuning
+from repro.obs.prometheus import format_prometheus
+from repro.obs.tracer import get_tracer, start_tracing
+from repro.service.pipeline import run_tuning, run_tuning_traced
 from repro.service.planner import RequestPlanner, TuningStore, TUNINGS_DIRNAME
 from repro.service.protocol import ProtocolError
 from repro.service.queue import ServiceDraining, ServiceSaturated, TuningQueue
@@ -73,6 +76,8 @@ class ServiceConfig:
     sim_workers: int = 1       # simulation processes per executor
     backend: str = "auto"
     drain_timeout: float = 60.0
+    trace_path: str | None = None   # write a trace file on shutdown
+    trace_format: str = "jsonl"     # "jsonl" | "chrome"
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -186,9 +191,25 @@ class TuningService:
             state.status = "running"
             state.started_at = time.time()
             self._gauges()
+            tracer = get_tracer()
+            if tracer.enabled and item.trace_id is not None:
+                # The wait is over exactly now; the span is synthesized
+                # (no awaits inside the scope -- the event loop thread's
+                # span stack must not leak across tasks).
+                with tracer.scope(parent_id=item.parent_span,
+                                  trace_id=item.trace_id):
+                    tracer.add_span(
+                        "service.queue_wait", cat="service",
+                        start_ns=item.admitted_ns,
+                        dur_ns=max(0, time.time_ns() - item.admitted_ns),
+                        key=item.key[:12],
+                    )
             try:
+                # ``run_tuning`` is resolved here (not at import) so tests
+                # that patch this module's attribute still intercept it.
                 payload = await loop.run_in_executor(
-                    self._pool, run_tuning, item.request, executor
+                    self._pool, run_tuning_traced, item.request, executor,
+                    item.trace_id, item.parent_span, run_tuning,
                 )
                 payload["key"] = item.key
                 self.planner.complete(item.key, payload)
@@ -226,10 +247,16 @@ class TuningService:
             status, payload = 400, {"error": "request read timed out"}
         except Exception as exc:
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (or any other plain-text body).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
@@ -281,6 +308,12 @@ class TuningService:
                 "inflight": len(self._inflight),
             }
         if path == "/metrics" and method == "GET":
+            fmt = query.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                return 200, self._prometheus_text()
+            if fmt != "json":
+                return 400, {"error": f"unknown metrics format {fmt!r} "
+                                      "(json or prometheus)"}
             snap = self._metrics.snapshot()
             snap["service"] = self._service_section()
             return 200, snap
@@ -296,6 +329,22 @@ class TuningService:
             wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
             return await self._tune(payload, wait)
         return 404, {"error": f"no route for {method} {path}"}
+
+    def _prometheus_text(self) -> str:
+        """The Prometheus exposition: registry metrics plus scrape-time
+        service gauges (uptime, drain state, queue bound, store size)."""
+        snap = self._metrics.snapshot()
+        gauges = snap.setdefault("gauges", {})
+        section = self._service_section()
+        gauges["service.uptime_seconds"] = section["uptime_s"]
+        gauges["service.draining"] = 1 if section["draining"] else 0
+        gauges["service.queue_depth"] = section["queue_depth"]
+        gauges["service.queue_limit"] = section["queue_limit"]
+        gauges["service.inflight"] = section["inflight"]
+        gauges["service.tuning_store.entries"] = (
+            section["tuning_store"]["entries"]
+        )
+        return format_prometheus(snap)
 
     def _service_section(self) -> dict:
         by_status: dict[str, int] = {}
@@ -325,12 +374,46 @@ class TuningService:
             return 200, {"job": key, "status": "done", "result": stored}
         return 404, {"error": f"unknown job {key!r}"}
 
+    def _finish_request_span(self, trace_id, root_id, start_ns, key,
+                             served, status) -> None:
+        """Record the ``http.request`` root span under its reserved id.
+
+        Children (queue wait, pipeline, simulator spans) already
+        parented under ``root_id`` while the request ran; the root
+        itself can only be recorded now, when its duration is known.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled or root_id is None:
+            return
+        tracer.add_span(
+            "http.request", cat="service",
+            start_ns=start_ns,
+            dur_ns=max(0, time.time_ns() - start_ns),
+            span_id=root_id,
+            trace_id=trace_id,
+            path="/v1/tune",
+            key=key[:12],
+            served=served,
+            status=status,
+        )
+
     async def _tune(self, payload, wait: bool) -> tuple[int, dict]:
         try:
             key, request = self.planner.plan(payload)
         except ProtocolError as exc:
             self._metrics.counter("service.requests.rejected").inc()
             return 400, {"error": str(exc)}
+
+        tracer = get_tracer()
+        trace_id = root_id = None
+        start_ns = 0
+        if tracer.enabled:
+            # Mint this request's trace context: an id that will stamp
+            # every span it causes, and a reserved root span id its
+            # children parent under across threads and processes.
+            trace_id = uuid.uuid4().hex[:16]
+            root_id = tracer.new_span_id()
+            start_ns = time.time_ns()
 
         t0 = time.time()
         stored = self.planner.lookup(key)
@@ -339,7 +422,10 @@ class TuningService:
             self._metrics.histogram("service.warm_seconds").observe(
                 time.time() - t0
             )
-            return 200, {**stored, "served": "store"}
+            self._finish_request_span(trace_id, root_id, start_ns, key,
+                                      "store", 200)
+            extra = {"trace_id": trace_id} if trace_id else {}
+            return 200, {**stored, "served": "store", **extra}
 
         fut = self._inflight.get(key)
         if fut is None:
@@ -347,11 +433,14 @@ class TuningService:
                 if self._draining:
                     raise ServiceDraining("server is draining")
                 fut = asyncio.get_event_loop().create_future()
-                self.queue.admit(key, request, fut)
+                self.queue.admit(key, request, fut,
+                                 trace_id=trace_id, parent_span=root_id)
             except (ServiceSaturated, ServiceDraining) as exc:
                 self._metrics.counter(
                     f"service.requests.rejected_{exc.status}"
                 ).inc()
+                self._finish_request_span(trace_id, root_id, start_ns, key,
+                                          "rejected", exc.status)
                 return exc.status, {
                     "error": str(exc),
                     "queue_depth": self.queue.depth,
@@ -368,15 +457,25 @@ class TuningService:
             served = "inflight"
 
         if not wait:
-            return 202, {"job": key, "status": self.jobs[key].status}
+            self._finish_request_span(trace_id, root_id, start_ns, key,
+                                      "accepted", 202)
+            extra = {"trace_id": trace_id} if trace_id else {}
+            return 202, {"job": key, "status": self.jobs[key].status, **extra}
         outcome = await fut
         if "error" in outcome:
+            self._finish_request_span(trace_id, root_id, start_ns, key,
+                                      "error", 500)
             return 500, outcome
-        return 200, {**outcome, "served": served}
+        self._finish_request_span(trace_id, root_id, start_ns, key,
+                                  served, 200)
+        extra = {"trace_id": trace_id} if trace_id else {}
+        return 200, {**outcome, "served": served, **extra}
 
 
 async def serve(config: ServiceConfig) -> int:
     """Run a server until SIGTERM/SIGINT; returns the process exit code."""
+    if config.trace_path is not None:
+        start_tracing()
     service = TuningService(config)
     await service.start()
     print(
@@ -395,5 +494,17 @@ async def serve(config: ServiceConfig) -> int:
     await stop.wait()
     print("[service] draining...", flush=True)
     await service.shutdown()
+    if config.trace_path is not None:
+        tracer = get_tracer()
+        metrics = get_metrics().snapshot()
+        if config.trace_format == "chrome":
+            tracer.write_chrome(config.trace_path, metrics=metrics)
+        else:
+            tracer.write_jsonl(config.trace_path, metrics=metrics)
+        print(
+            f"[service] trace: {len(tracer.spans())} spans, "
+            f"{len(tracer.counters())} counter samples -> {config.trace_path}",
+            flush=True,
+        )
     print("[service] shutdown complete", flush=True)
     return 0

@@ -76,7 +76,7 @@ class TestPayloadBroadcast:
         job = job_for(64)
         (_, _, variant), = pack_payloads([job])
         assert variant == (job.layout, job.kernel, job.nest_index,
-                           job.max_chunk_refs)
+                           job.max_chunk_refs, job.timeline_window)
 
 
 class TestDispatch:

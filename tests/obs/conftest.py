@@ -5,16 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.obs.metrics import reset_metrics, set_metrics, get_metrics
+from repro.obs.timeline import get_timeline_window, set_timeline_window
 from repro.obs.tracer import stop_tracing
 
 
 @pytest.fixture(autouse=True)
 def _isolate_obs_globals():
-    """Fresh registry per test; always restore the no-op tracer."""
+    """Fresh registry per test; always restore the no-op tracer and the
+    process-wide timeline window."""
     previous = get_metrics()
+    window = get_timeline_window()
     reset_metrics()
     try:
         yield
     finally:
         stop_tracing()
         set_metrics(previous)
+        set_timeline_window(window)

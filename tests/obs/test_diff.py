@@ -1,0 +1,126 @@
+"""Trace-vs-trace regression diffs: thresholds, noise floor, verdicts."""
+
+from __future__ import annotations
+
+from repro.obs.diff import MIN_SELF_S, TraceDiff, diff_traces
+from repro.obs.tracer import Tracer
+
+
+def write_trace(path, spans, counters=None):
+    """A trace file from (name, seconds) pairs plus a counters dict."""
+    tracer = Tracer()
+    t0 = 1_000_000_000
+    for name, seconds in spans:
+        tracer.add_span(name, start_ns=t0, dur_ns=int(seconds * 1e9))
+    metrics = {"counters": counters} if counters else None
+    tracer.write_jsonl(path, metrics=metrics)
+    return path
+
+
+class TestSpanDeltas:
+    def test_self_diff_reports_zero_regressions(self, tmp_path):
+        path = write_trace(tmp_path / "a.jsonl",
+                           [("exec.job", 0.5), ("exec.sweep", 0.1)],
+                           {"exec.jobs": 10})
+        diff = diff_traces(path, path)
+        assert diff.status == "ok"
+        assert diff.regressions == []
+        assert all(d.delta_s == 0.0 for d in diff.spans)
+        assert diff.counters == []  # equal values are not even compared
+
+    def test_large_growth_fails(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.5)])
+        diff = diff_traces(base, fresh)
+        assert diff.status == "fail"
+        (d,) = diff.regressions
+        assert d.name == "exec.job" and d.status == "fail"
+        assert d.pct == 50.0
+
+    def test_moderate_growth_warns(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.15)])
+        assert diff_traces(base, fresh).status == "warn"
+
+    def test_tiny_span_tripling_is_below_the_noise_floor(self, tmp_path):
+        # +200% but only 2ms of absolute growth: min_self_s keeps it ok.
+        base = write_trace(tmp_path / "base.jsonl", [("store.get", 0.001)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("store.get", 0.003)])
+        assert 0.003 - 0.001 < MIN_SELF_S
+        assert diff_traces(base, fresh).status == "ok"
+
+    def test_getting_faster_is_never_a_finding(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 2.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 0.5)])
+        assert diff_traces(base, fresh).status == "ok"
+
+    def test_new_span_with_real_time_warns(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl",
+                            [("exec.job", 1.0), ("surprise.phase", 0.2)])
+        diff = diff_traces(base, fresh)
+        (d,) = diff.regressions
+        assert d.name == "surprise.phase" and d.status == "warn"
+
+
+class TestCounterDeltas:
+    def test_work_counter_drift_warns_regardless_of_size(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)],
+                           {"exec.jobs": 100})
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.0)],
+                            {"exec.jobs": 101})
+        diff = diff_traces(base, fresh)
+        (d,) = diff.regressions
+        assert d.kind == "work" and d.status == "warn"
+        assert (d.base, d.fresh) == (100.0, 101.0)
+
+    def test_work_counter_shrink_also_warns(self, tmp_path):
+        # Fewer jobs is as much a workload change as more jobs.
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)],
+                           {"sim.refs": 1000})
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.0)],
+                            {"sim.refs": 900})
+        assert diff_traces(base, fresh).status == "warn"
+
+    def test_timing_counter_uses_percentage_thresholds(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)],
+                           {"exec.sim_seconds": 1.0})
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.0)],
+                            {"exec.sim_seconds": 1.5})
+        diff = diff_traces(base, fresh)
+        (d,) = diff.regressions
+        assert d.kind == "timing" and d.status == "fail"
+
+    def test_timing_counter_getting_faster_is_ok(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)],
+                           {"exec.sim_seconds": 2.0})
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.0)],
+                            {"exec.sim_seconds": 0.5})
+        assert diff_traces(base, fresh).status == "ok"
+
+
+class TestFormatting:
+    def test_format_ends_with_the_status_line(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.5)])
+        out = diff_traces(base, fresh).format()
+        assert out.splitlines()[-1].startswith("trace diff status: fail")
+        assert "exec.job" in out
+
+    def test_custom_thresholds(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl", [("exec.job", 1.0)])
+        fresh = write_trace(tmp_path / "fresh.jsonl", [("exec.job", 1.15)])
+        strict = diff_traces(base, fresh, warn_pct=5.0, fail_pct=10.0)
+        assert strict.status == "fail"
+        lax = diff_traces(base, fresh, warn_pct=50.0, fail_pct=90.0)
+        assert lax.status == "ok"
+
+    def test_status_ordering_fail_beats_warn(self):
+        from repro.obs.diff import CounterDelta, SpanDelta
+
+        diff = TraceDiff(
+            base_path="a", fresh_path="b",
+            spans=[SpanDelta("s", 1.0, 1.2, 1, 1, "warn")],
+            counters=[CounterDelta("c", 1, 2, "work", "fail")],
+        )
+        assert diff.status == "fail"

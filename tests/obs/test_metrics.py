@@ -43,7 +43,7 @@ class TestPrimitives:
     def test_empty_histogram_summary_is_finite(self):
         s = Histogram().summary()
         assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                     "mean": 0.0}
+                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 class TestRegistry:

@@ -161,7 +161,8 @@ class TestCLITrace:
                    "--trace", str(trace), "--trace-format", "chrome"])
         assert rc == 0
         doc = json.load(open(trace))
-        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i"}
+        # Complete spans, instants, and the timeline's counter tracks.
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i", "C"}
         capsys.readouterr()
         rc = main(["report", "--trace", str(trace)])
         assert rc == 0

@@ -1,0 +1,81 @@
+"""Prometheus text exposition over the metrics snapshot."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import format_prometheus, sanitize_metric_name
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("service.requests.computed") == \
+            "service_requests_computed"
+        assert sanitize_metric_name("a-b/c d") == "a_b_c_d"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("1up")[0] == "_"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("exec_jobs:total") == "exec_jobs:total"
+
+
+class TestExposition:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        m = MetricsRegistry()
+        m.counter("service.requests.computed").inc(3)
+        text = format_prometheus(m.snapshot())
+        assert "# TYPE service_requests_computed_total counter\n" in text
+        assert "\nservice_requests_computed_total 3\n" in text
+
+    def test_gauge(self):
+        m = MetricsRegistry()
+        m.gauge("service.queue_depth").set(2)
+        text = format_prometheus(m.snapshot())
+        assert "# TYPE service_queue_depth gauge" in text
+        assert "service_queue_depth 2" in text.splitlines()
+
+    def test_histogram_becomes_summary_with_quantiles(self):
+        m = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            m.histogram("service.warm_seconds").observe(v)
+        text = format_prometheus(m.snapshot())
+        assert "# TYPE service_warm_seconds summary" in text
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'service_warm_seconds{{quantile="{q}"}}' in text
+        assert "service_warm_seconds_count 4" in text
+        assert "service_warm_seconds_sum 1.0" in text
+        assert "# TYPE service_warm_seconds_min gauge" in text
+        assert "# TYPE service_warm_seconds_max gauge" in text
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert format_prometheus({}) == ""
+        assert format_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_ends_with_single_trailing_newline(self):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        text = format_prometheus(m.snapshot())
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_colliding_sanitized_names_emit_once(self):
+        snap = {"gauges": {"a.b": 1, "a_b": 2}}
+        text = format_prometheus(snap)
+        samples = [l for l in text.splitlines()
+                   if l.startswith("a_b ") and not l.startswith("#")]
+        assert len(samples) == 1
+
+    def test_deterministic_order(self):
+        m = MetricsRegistry()
+        m.counter("z").inc()
+        m.counter("a").inc()
+        m.gauge("g").set(1)
+        assert format_prometheus(m.snapshot()) == \
+            format_prometheus(m.snapshot())
+        assert text_index(format_prometheus(m.snapshot()), "a_total") < \
+            text_index(format_prometheus(m.snapshot()), "z_total")
+
+
+def text_index(text: str, needle: str) -> int:
+    idx = text.find(needle)
+    assert idx >= 0, f"{needle!r} not in exposition"
+    return idx

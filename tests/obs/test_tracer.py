@@ -167,6 +167,143 @@ class TestSelfTime:
         )
 
 
+class TestCounters:
+    def test_counter_samples_record_values_and_placement(self):
+        tracer = Tracer()
+        tracer.counter("q.depth", ts_ns=5, cat="svc", pid=7, tid=9, depth=3)
+        tracer.counter("q.depth", depth=4)
+        first, second = tracer.counters()
+        assert (first.ts_ns, first.pid, first.tid) == (5, 7, 9)
+        assert first.values == {"depth": 3}
+        assert second.values == {"depth": 4}
+        assert second.ts_ns > 5  # defaulted to now
+
+    def test_jsonl_export_carries_counter_rows(self, tmp_path):
+        tracer = Tracer()
+        tracer.counter("rate", ts_ns=1, miss_rate=0.5)
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        (row,) = [r for r in rows if r["type"] == "counter"]
+        assert row["name"] == "rate" and row["values"] == {"miss_rate": 0.5}
+
+    def test_chrome_export_uses_ph_c(self, tmp_path):
+        tracer = Tracer()
+        tracer.counter("rate", ts_ns=2000, miss_rate=0.25)
+        path = tmp_path / "t.json"
+        tracer.write_chrome(path)
+        (event,) = json.load(open(path))["traceEvents"]
+        assert event["ph"] == "C"
+        assert event["ts"] == 2.0  # microseconds
+        assert event["args"] == {"miss_rate": 0.25}
+
+
+class TestOpenSpans:
+    def test_unclosed_span_exports_without_duration(self, tmp_path):
+        tracer = Tracer()
+        active = tracer.span("stuck", cat="svc", key="k")
+        active.__enter__()  # never exited: simulates a SIGTERM'd worker
+        (span,) = tracer.open_spans()
+        assert span.name == "stuck" and span.dur_ns is None
+        assert tracer.spans() == []  # not a completed span
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+        (row,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert row["open"] is True and row["type"] == "span"
+        assert "dur_ns" not in row
+
+    def test_open_span_keeps_owning_thread_tid(self):
+        tracer = Tracer()
+        entered = threading.Event()
+
+        def worker():
+            tracer.span("lost").__enter__()
+            entered.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert entered.is_set()
+        (span,) = tracer.open_spans()
+        assert span.tid != threading.get_ident()
+
+    def test_open_span_becomes_chrome_begin_event(self, tmp_path):
+        tracer = Tracer()
+        tracer.span("stuck").__enter__()
+        path = tmp_path / "t.json"
+        tracer.write_chrome(path)
+        (event,) = json.load(open(path))["traceEvents"]
+        assert event["ph"] == "B"
+
+    def test_closing_removes_from_open_registry(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            assert len(tracer.open_spans()) == 1
+        assert tracer.open_spans() == []
+
+
+class TestScopes:
+    def test_scope_reparents_and_stamps_context(self):
+        tracer = Tracer()
+        root = tracer.new_span_id()
+        with tracer.scope(parent_id=root, trace_id="abc"):
+            with tracer.span("child"):
+                pass
+            tracer.event("mark")
+        child, mark = tracer.spans()
+        assert child.parent_id == root
+        assert child.args["trace_id"] == "abc"
+        assert mark.args["trace_id"] == "abc"
+        # Outside the scope nothing leaks.
+        tracer.event("after")
+        assert tracer.spans()[-1].args == {}
+        assert tracer.current_span_id() is None
+
+    def test_scope_runs_in_another_thread(self):
+        tracer = Tracer()
+        root = tracer.new_span_id()
+
+        def worker():
+            with tracer.scope(parent_id=root, trace_id="xyz"):
+                with tracer.span("pipeline"):
+                    pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        (span,) = tracer.spans()
+        assert span.parent_id == root and span.args["trace_id"] == "xyz"
+
+    def test_nested_scopes_shadow_outer_keys(self):
+        tracer = Tracer()
+        with tracer.scope(trace_id="outer", shared="s"):
+            with tracer.scope(trace_id="inner"):
+                tracer.event("e")
+            tracer.event("f")
+        e, f = tracer.spans()
+        assert e.args == {"trace_id": "inner", "shared": "s"}
+        assert f.args == {"trace_id": "outer", "shared": "s"}
+
+    def test_explicit_args_beat_scope_context(self):
+        tracer = Tracer()
+        with tracer.scope(trace_id="ambient"):
+            tracer.event("e", trace_id="explicit")
+        (e,) = tracer.spans()
+        assert e.args["trace_id"] == "explicit"
+
+    def test_reserved_root_recorded_after_children(self):
+        tracer = Tracer()
+        root = tracer.new_span_id()
+        with tracer.scope(parent_id=root):
+            tracer.add_span("child", start_ns=10, dur_ns=5)
+        got = tracer.add_span("root", start_ns=0, dur_ns=100, span_id=root)
+        assert got == root
+        child, root_span = tracer.spans()
+        assert child.parent_id == root and root_span.span_id == root
+        # Ids never collide with the reservation.
+        assert tracer.new_span_id() > root
+
+
 class TestNullTracer:
     def test_default_tracer_is_disabled(self):
         assert get_tracer() is NULL_TRACER
@@ -180,7 +317,13 @@ class TestNullTracer:
             assert sp.set(anything=1) is sp
         NULL_TRACER.event("e")
         NULL_TRACER.add_span("s", start_ns=0, dur_ns=1)
+        NULL_TRACER.counter("c", value=1)
+        with NULL_TRACER.scope(parent_id=None, trace_id="x"):
+            pass
+        assert NULL_TRACER.new_span_id() is None
         assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.counters() == []
+        assert NULL_TRACER.open_spans() == []
         assert NULL_TRACER.current_span_id() is None
 
     def test_start_stop_tracing_swaps_global(self):

@@ -1,0 +1,135 @@
+"""Cross-process request tracing and the Prometheus scrape endpoint.
+
+The acceptance property of the tracing tentpole: one ``/v1/tune`` request
+yields ONE connected trace tree -- front end, queue wait, worker pipeline,
+and executor spans all stitched together by the trace id the server
+minted, even though they run on different threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import Tracer, set_tracer, stop_tracing
+
+from .test_server import jacobi_request, run_service
+
+
+@pytest.fixture()
+def live_tracer():
+    """A real tracer installed for the duration of one test."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        stop_tracing()
+
+
+def spans_for(tracer, trace_id):
+    return [s for s in tracer.spans()
+            if s.args.get("trace_id") == trace_id and s.dur_ns is not None]
+
+
+class TestRequestTracing:
+    def test_one_request_builds_one_connected_tree(
+        self, tmp_path, live_tracer
+    ):
+        def body(client, service):
+            status, out = client.tune(jacobi_request())
+            assert status == 200
+            return out
+
+        out = run_service(body, tmp_path)
+        trace_id = out["trace_id"]
+        assert len(trace_id) == 16
+
+        spans = spans_for(live_tracer, trace_id)
+        names = {s.name for s in spans}
+        assert {"http.request", "service.queue_wait", "service.tune"} <= names
+        assert any(n.startswith("exec.") for n in names)
+
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id not in by_id]
+        assert [r.name for r in roots] == ["http.request"]
+        # Every span reaches the root: connected, acyclic, one tree.
+        for s in spans:
+            hops, cur = 0, s
+            while cur.parent_id in by_id:
+                cur = by_id[cur.parent_id]
+                hops += 1
+                assert hops < len(spans)
+            assert cur.name == "http.request"
+
+        root = roots[0]
+        assert root.args["status"] == 200
+        assert root.args["served"] == "computed"
+        # The queue-wait span sits between admission and the pipeline.
+        wait = next(s for s in spans if s.name == "service.queue_wait")
+        assert wait.parent_id == root.span_id
+
+    def test_distinct_requests_get_distinct_disjoint_traces(
+        self, tmp_path, live_tracer
+    ):
+        def body(client, service):
+            _, first = client.tune(jacobi_request(16))
+            _, second = client.tune(jacobi_request(24))
+            return first, second
+
+        first, second = run_service(body, tmp_path)
+        assert first["trace_id"] != second["trace_id"]
+        ids_a = {s.span_id for s in spans_for(live_tracer, first["trace_id"])}
+        ids_b = {s.span_id for s in spans_for(live_tracer, second["trace_id"])}
+        assert ids_a and ids_b and not (ids_a & ids_b)
+
+    def test_store_hit_still_gets_a_traced_root(self, tmp_path, live_tracer):
+        def body(client, service):
+            client.tune(jacobi_request())
+            status, warm = client.tune(jacobi_request())
+            assert status == 200 and warm["served"] == "store"
+            return warm
+
+        warm = run_service(body, tmp_path)
+        (root,) = [s for s in spans_for(live_tracer, warm["trace_id"])
+                   if s.name == "http.request"]
+        assert root.args["served"] == "store"
+
+    def test_tracing_off_means_no_trace_id_in_responses(self, tmp_path):
+        def body(client, service):
+            status, out = client.tune(jacobi_request())
+            assert status == 200
+            assert "trace_id" not in out
+
+        run_service(body, tmp_path)
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_returns_text_exposition(self, tmp_path):
+        def body(client, service):
+            client.tune(jacobi_request())
+            text = client.metrics(fmt="prometheus")
+            assert isinstance(text, str)
+            lines = text.splitlines()
+            assert "service_requests_computed_total 1" in lines
+            assert "service_queue_limit 4" in lines
+            assert "# TYPE service_requests_computed_total counter" in lines
+            assert any(l.startswith("service_uptime_seconds ")
+                       for l in lines)
+
+        run_service(body, tmp_path)
+
+    def test_json_format_is_still_the_default(self, tmp_path):
+        def body(client, service):
+            m = client.metrics()
+            assert isinstance(m, dict)
+            assert "service" in m
+
+        run_service(body, tmp_path)
+
+    def test_unknown_format_is_a_400(self, tmp_path):
+        def body(client, service):
+            status, err = client._request("GET", "/metrics?format=xml")
+            assert status == 400
+            assert "unknown metrics format" in err["error"]
+
+        run_service(body, tmp_path)

@@ -118,8 +118,13 @@ class TestObsExports:
     OBS_NAMES = [
         "Tracer",
         "MetricsRegistry",
+        "Timeline",
+        "TraceDiff",
+        "diff_traces",
+        "format_prometheus",
         "get_tracer",
         "get_metrics",
+        "set_timeline_window",
         "start_tracing",
         "stop_tracing",
     ]
